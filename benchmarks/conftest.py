@@ -1,0 +1,32 @@
+"""Benchmark fixtures.
+
+The suite profiles are computed once up front so per-figure benchmarks
+measure the analysis being benchmarked, not the shared profiling cost.
+Each figure benchmark prints its rendered table — the harness output is
+the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.suite_cache import all_profiles
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_suite_cache():
+    all_profiles()
+
+
+def run_and_render(benchmark, experiment_run):
+    """Benchmark an experiment and print its report."""
+    result = benchmark.pedantic(experiment_run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_claims_hold, (
+        f"{result.experiment_id}: "
+        + "; ".join(
+            claim.claim for claim in result.claims if not claim.holds
+        )
+    )
+    return result

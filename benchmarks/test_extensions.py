@@ -1,0 +1,87 @@
+"""Benchmarks for the beyond-the-paper extensions.
+
+These cover the future-work directions the paper motivates: the decode
+attention gap (Flash-Decoding), the Section V pod-scheduling proposal,
+and training-side capacity analysis.
+"""
+
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.models.stable_diffusion import StableDiffusion
+from repro.optimizations import compare_decode_attention, schedule_pods
+from repro.reporting.table import render_table
+from repro.training import scaling_sweep
+
+
+def _sd_pass_trace(batch: int = 2):
+    model = StableDiffusion()
+    ctx = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+    model.unet(ctx, TensorSpec((batch, 4, 64, 64)))
+    return model, ctx.trace
+
+
+def test_flash_decoding_sweep(benchmark):
+    points = benchmark.pedantic(
+        compare_decode_attention,
+        args=([2048, 8192, 32768, 131072],),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table(
+        ["KV length", "speedup"],
+        [[p.seq_kv, f"{p.speedup:.2f}x"] for p in points],
+        title="Flash-Decoding speedup over decode-shaped flash",
+    ))
+    assert all(p.speedup > 1.5 for p in points)
+
+
+def test_step_pod_scheduling(benchmark):
+    model, trace = _sd_pass_trace()
+    del model
+
+    def sweep():
+        return [schedule_pods(trace, copies) for copies in (2, 4, 8, 16)]
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["copies", "peak/avg aligned", "peak/avg staggered", "gain"],
+        [
+            [r.copies, f"{r.peak_to_average_aligned:.2f}",
+             f"{r.peak_to_average_staggered:.2f}", f"{r.speedup:.3f}x"]
+            for r in reports
+        ],
+        title="Staggered denoising pods",
+    ))
+    # Staggering pays off in the partial-saturation window; once every
+    # bin saturates (very high concurrency) both schedules converge.
+    assert max(r.speedup for r in reports) >= 1.05
+    assert all(
+        r.peak_to_average_staggered
+        <= r.peak_to_average_aligned + 1e-9
+        for r in reports
+    )
+
+
+def test_fsdp_weak_scaling(benchmark):
+    # Realistic training batch per GPU: the trace must carry it, since
+    # compute time comes from the trace.
+    model, trace = _sd_pass_trace(batch=16)
+
+    def sweep():
+        return scaling_sweep(
+            trace, model.param_count(), [8, 64, 512], batch_per_gpu=16
+        )
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["GPUs", "efficiency", "comm share"],
+        [
+            [p.world_size, f"{p.scaling_efficiency:.0%}",
+             f"{p.communication_fraction:.0%}"]
+            for p in points
+        ],
+        title="SD FSDP weak scaling",
+    ))
+    assert points[-1].scaling_efficiency > 0.5

@@ -1,0 +1,65 @@
+"""One benchmark per figure of the paper's evaluation.
+
+Run with ``pytest benchmarks/ --benchmark-only``; each benchmark prints
+the regenerated figure as a table and asserts its claim checks.
+"""
+
+from repro.experiments import (
+    fig01_fleet,
+    fig04_pareto,
+    fig05_roofline,
+    fig06_op_breakdown,
+    fig07_seqlen_profile,
+    fig08_seqlen_distribution,
+    fig09_image_scaling,
+    fig10_layouts,
+    fig11_temporal_cost,
+    fig12_cache,
+    fig13_frame_scaling,
+)
+
+from conftest import run_and_render
+
+
+def test_fig01_fleet(benchmark):
+    run_and_render(benchmark, fig01_fleet.run)
+
+
+def test_fig04_pareto(benchmark):
+    run_and_render(benchmark, fig04_pareto.run)
+
+
+def test_fig05_roofline(benchmark):
+    run_and_render(benchmark, fig05_roofline.run)
+
+
+def test_fig06_operator_breakdown(benchmark):
+    run_and_render(benchmark, fig06_op_breakdown.run)
+
+
+def test_fig07_sequence_length_profile(benchmark):
+    run_and_render(benchmark, fig07_seqlen_profile.run)
+
+
+def test_fig08_sequence_length_distribution(benchmark):
+    run_and_render(benchmark, fig08_seqlen_distribution.run)
+
+
+def test_fig09_image_size_scaling(benchmark):
+    run_and_render(benchmark, fig09_image_scaling.run)
+
+
+def test_fig10_attention_layouts(benchmark):
+    run_and_render(benchmark, fig10_layouts.run)
+
+
+def test_fig11_temporal_vs_spatial_cost(benchmark):
+    run_and_render(benchmark, fig11_temporal_cost.run)
+
+
+def test_fig12_cache_hit_rates(benchmark):
+    run_and_render(benchmark, fig12_cache.run)
+
+
+def test_fig13_frame_count_scaling(benchmark):
+    run_and_render(benchmark, fig13_frame_scaling.run)

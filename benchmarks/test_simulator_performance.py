@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the simulator itself.
+
+These measure the *framework's* throughput (cost evaluations per
+second, trace generation speed, cache-simulation speed) — the numbers a
+downstream user cares about when sweeping large design spaces.
+"""
+
+from repro.hw.spec import A100_80GB
+from repro.ir.context import ExecutionContext
+from repro.ir.ops import Gemm
+from repro.ir.tensor import TensorSpec
+from repro.kernels.estimator import CostEstimator
+from repro.layers.unet import UNet
+from repro.models.stable_diffusion import StableDiffusionConfig
+
+
+def test_gemm_cost_evaluation_throughput(benchmark):
+    estimator = CostEstimator(A100_80GB)
+    op = Gemm("g", m=4096, n=4096, k=4096)
+    benchmark(estimator.estimate, op)
+
+
+def test_unet_trace_generation(benchmark):
+    unet = UNet(StableDiffusionConfig().unet)
+    latent = TensorSpec((2, 4, 64, 64))
+
+    def one_denoising_step():
+        ctx = ExecutionContext()
+        unet(ctx, latent)
+        return len(ctx.trace)
+
+    events = benchmark(one_denoising_step)
+    assert events > 500
+
+
+def test_llama_prefill_trace_generation(benchmark):
+    from repro.models.llama import Llama, LlamaConfig
+
+    model = Llama(LlamaConfig(prompt_tokens=2048, decode_tokens=1,
+                              decode_bucket=1))
+
+    def prefill():
+        ctx = ExecutionContext()
+        model.prefill(ctx)
+        return ctx.trace.total_time_s
+
+    assert benchmark(prefill) > 0
+
+
+def test_cache_simulation_speed(benchmark):
+    from repro.experiments.fig12_cache import attention_configs
+    from repro.kernels.attention import simulate_attention_cache
+
+    spatial_info, _ = attention_configs()
+    report = benchmark.pedantic(
+        simulate_attention_cache, args=(spatial_info,), rounds=2,
+        iterations=1,
+    )
+    assert report.gemm.l1_hit_rate > 0.0
+
+
+def test_full_sd_profile(benchmark):
+    """End-to-end profiling cost of the heaviest single-model config."""
+    from repro.models.stable_diffusion import StableDiffusion
+    from repro.profiler.profiler import profile_model
+
+    model = StableDiffusion()
+    result = benchmark.pedantic(
+        profile_model, args=(model,), rounds=1, iterations=1
+    )
+    assert result.total_time_s > 0

@@ -1,0 +1,21 @@
+"""One benchmark per table of the paper's evaluation."""
+
+from repro.experiments import (
+    table1_taxonomy,
+    table2_speedup,
+    table3_prefill_decode,
+)
+
+from conftest import run_and_render
+
+
+def test_table1_taxonomy(benchmark):
+    run_and_render(benchmark, table1_taxonomy.run)
+
+
+def test_table2_flash_attention_speedup(benchmark):
+    run_and_render(benchmark, table2_speedup.run)
+
+
+def test_table3_prefill_decode(benchmark):
+    run_and_render(benchmark, table3_prefill_decode.run)

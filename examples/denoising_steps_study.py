@@ -1,0 +1,75 @@
+"""Denoising step count: the quality/latency dial (Section II-A).
+
+The paper fixes each diffusion model's step count and notes "an
+inherent trade off between number of denoising steps and image
+quality."  This study quantifies the latency side of that dial with
+the profiler (one simulated UNet pass) and the quality side with a
+proxy from the scheduler math (log-SNR trajectory coverage of the DDIM
+timestep subsequence).
+
+Run:  python examples/denoising_steps_study.py
+"""
+
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.models import linear_schedule, steps_latency_tradeoff
+from repro.models.stable_diffusion import StableDiffusion
+from repro.reporting import render_table
+
+STEP_COUNTS = [4, 10, 20, 50, 100, 250]
+
+
+def main() -> None:
+    model = StableDiffusion()
+    config = model.config
+
+    # Measure one denoising step (CFG batch of 2) and the fixed ends.
+    ctx = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+    latent = TensorSpec(
+        (2, config.latent_channels, config.latent_size,
+         config.latent_size)
+    )
+    model.unet(ctx, latent)
+    step_latency = ctx.trace.total_time_s
+
+    overhead_ctx = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+    model.text_encoder(overhead_ctx, 1)
+    model.vae_decoder(
+        overhead_ctx,
+        TensorSpec((1, config.latent_channels, config.latent_size,
+                    config.latent_size)),
+    )
+    overhead = overhead_ctx.trace.total_time_s
+
+    points = steps_latency_tradeoff(
+        step_latency, STEP_COUNTS,
+        schedule=linear_schedule(),
+        fixed_overhead_s=overhead,
+    )
+    rows = [
+        [
+            point.steps,
+            f"{point.latency_s*1e3:.0f} ms",
+            f"{point.snr_coverage*100:.1f}%",
+            f"{overhead/point.latency_s*100:.1f}%",
+        ]
+        for point in points
+    ]
+    print(render_table(
+        ["steps", "latency", "log-SNR coverage", "fixed-cost share"],
+        rows,
+        title="Stable Diffusion at 512px on a simulated A100 "
+        f"(one step = {step_latency*1e3:.1f} ms)",
+    ))
+    print()
+    print(
+        "The paper's 50-step operating point covers "
+        f"{points[3].snr_coverage*100:.0f}% of the denoising trajectory "
+        "at a fifth of the 250-step latency — and because latency is "
+        "linear in steps while the UNet is identical each pass, every "
+        "operator-breakdown conclusion is step-count invariant."
+    )
+
+
+if __name__ == "__main__":
+    main()

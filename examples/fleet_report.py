@@ -1,0 +1,63 @@
+"""Fleet-level capacity report (the Figure 1 view).
+
+Generates a synthetic training fleet, summarizes GPUs-per-parameter and
+memory utilization by workload class, and shows which suite models map
+to which class.  Swap ``synthesize_fleet`` for your own job telemetry to
+run the same analysis on real data.
+
+Run:  python examples/fleet_report.py
+"""
+
+from repro.analysis.fleet import (
+    architecture_to_workload,
+    summarize_fleet,
+    synthesize_fleet,
+)
+from repro.models import build_model, suite_names
+from repro.reporting import render_table
+
+
+def main() -> None:
+    jobs = synthesize_fleet(num_jobs=200, seed=7)
+    summary = summarize_fleet(jobs)
+
+    by_kind: dict[str, list] = {}
+    for job in jobs:
+        by_kind.setdefault(job.workload, []).append(job)
+    rows = [
+        [
+            kind,
+            len(group),
+            f"{sum(j.model_parameters for j in group)/len(group)/1e9:.1f}B",
+            f"{sum(j.gpus for j in group)/len(group):.0f}",
+            f"{sum(j.memory_utilization for j in group)/len(group)*100:.0f}%",
+        ]
+        for kind, group in sorted(by_kind.items())
+    ]
+    print(render_table(
+        ["workload", "jobs", "avg params", "avg GPUs", "avg mem util"],
+        rows, title="Synthetic training fleet",
+    ))
+    print()
+    print(
+        f"TTI/TTV vs LLM GPUs-per-parameter : "
+        f"{summary.gpus_per_param_ratio:.1f}x   (paper: 14x)"
+    )
+    print(
+        f"TTI/TTV vs LLM memory utilization : "
+        f"{summary.memory_utilization_ratio:.2f}x  (paper: ~1.4x)"
+    )
+
+    print()
+    mapping_rows = [
+        [name, architecture_to_workload(build_model(name).architecture)]
+        for name in suite_names()
+    ]
+    print(render_table(
+        ["suite model", "fleet class"], mapping_rows,
+        title="Model-suite -> fleet-class mapping",
+    ))
+
+
+if __name__ == "__main__":
+    main()

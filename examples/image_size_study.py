@@ -1,0 +1,103 @@
+"""Image-size scaling study (the Section V case study).
+
+Sweeps Stable Diffusion's output resolution and reports, per size:
+
+* the sequence-length distribution of the UNet's attention calls
+  (Figure 8 — lengths bucket and shift right quadratically),
+* the analytical similarity-matrix memory (the O(L^4) law),
+* attention vs convolution time before/after Flash Attention
+  (Figure 9 — conv becomes the scaling bottleneck after Flash).
+
+Run:  python examples/image_size_study.py
+"""
+
+from repro.analysis.attention_memory import (
+    cumulative_unet_similarity_bytes,
+    similarity_matrix_bytes,
+)
+from repro.analysis.scaling import sweep_image_sizes
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.models.stable_diffusion import (
+    StableDiffusion,
+    StableDiffusionConfig,
+)
+from repro.profiler import sequence_length_distribution
+from repro.reporting import format_bytes, render_table
+
+SIZES = [128, 256, 512, 768]
+
+
+def seqlen_rows() -> list[list[object]]:
+    rows = []
+    for size in SIZES:
+        config = StableDiffusionConfig().at_image_size(size)
+        ctx = ExecutionContext()
+        latent = TensorSpec(
+            (1, config.latent_channels, config.latent_size,
+             config.latent_size)
+        )
+        StableDiffusion(config).unet(ctx, latent)
+        dist = sequence_length_distribution(ctx.trace)
+        latent_side = config.latent_size
+        rows.append(
+            [
+                f"{size}x{size}",
+                dist.max_length,
+                f"{dist.dynamic_range:.0f}x",
+                format_bytes(
+                    similarity_matrix_bytes(latent_side, latent_side, 77)
+                ),
+                format_bytes(
+                    cumulative_unet_similarity_bytes(
+                        latent_side, latent_side, 77,
+                        downsample_factor=4, unet_depth=3,
+                    )
+                ),
+            ]
+        )
+    return rows
+
+
+def scaling_rows() -> list[list[object]]:
+    rows = []
+    for impl in (AttentionImpl.BASELINE, AttentionImpl.FLASH):
+        for point in sweep_image_sizes(SIZES, impl):
+            rows.append(
+                [
+                    impl.value,
+                    f"{point.image_size}px",
+                    f"{point.attention_time_s*1e3:.2f} ms",
+                    f"{point.conv_time_s*1e3:.2f} ms",
+                ]
+            )
+    return rows
+
+
+def main() -> None:
+    print(
+        render_table(
+            ["output", "max seq", "seq range", "peak similarity mem",
+             "cumulative UNet mem"],
+            seqlen_rows(),
+            title="Sequence length & attention memory vs image size "
+            "(O(L^4) law)",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["attention impl", "output", "attention time", "conv time"],
+            scaling_rows(),
+            title="Attention vs convolution scaling (one UNet pass)",
+        )
+    )
+    print()
+    print(
+        "Takeaway: after Flash Attention, convolution grows faster with "
+        "image size than attention — the paper's Figure 9."
+    )
+
+
+if __name__ == "__main__":
+    main()

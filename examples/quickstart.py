@@ -1,0 +1,67 @@
+"""Quickstart: profile Stable Diffusion, before and after Flash Attention.
+
+This walks the library's core loop in ~40 lines:
+
+1. build a model from the suite,
+2. profile a full inference with baseline and with Flash attention,
+3. print the operator breakdown and the end-to-end speedup —
+   the Figure 6 / Table II workflow of the paper.
+
+Run:  python examples/quickstart.py [model_name]
+"""
+
+import sys
+
+from repro import build_model, breakdown, profile_both, speedup_report
+from repro.reporting import render_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "stable_diffusion"
+    model = build_model(name)
+    print(
+        f"Profiling {name} "
+        f"({model.param_count()/1e9:.2f}B params, "
+        f"{model.architecture.value}) on a simulated A100-80GB..."
+    )
+
+    baseline, flash = profile_both(model)
+    base_breakdown = breakdown(baseline.trace)
+    flash_breakdown = breakdown(flash.trace)
+
+    rows = []
+    for category in sorted(
+        base_breakdown.time_by_category,
+        key=base_breakdown.time_by_category.get,
+        reverse=True,
+    ):
+        rows.append(
+            [
+                category.value,
+                f"{base_breakdown.fraction(category)*100:.1f}%",
+                f"{flash_breakdown.fraction(category)*100:.1f}%",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["operator", "baseline share", "flash share"],
+            rows,
+            title="Operator-time breakdown",
+        )
+    )
+
+    report = speedup_report(baseline.trace, flash.trace)
+    print()
+    print(f"baseline inference : {baseline.total_time_s*1e3:8.1f} ms")
+    print(f"flash inference    : {flash.total_time_s*1e3:8.1f} ms")
+    print(f"end-to-end speedup : {report.end_to_end_speedup:8.2f}x")
+    print(
+        "attention module   : "
+        f"{report.attention_module_speedup:8.2f}x "
+        f"({report.baseline_attention_fraction*100:.0f}% of baseline time)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""Beyond the paper: training costs and the optimizations it motivates.
+
+Four short studies built on the same cost models as the reproduction:
+
+1. **Figure 1 from first principles** — why TTI training burns 14x the
+   GPUs per parameter: LLM world sizes are set by optimizer-state
+   capacity, TTI world sizes by throughput, and TTI memory stays full
+   of activations no matter how far the state shards.
+2. **FSDP scaling** — weak-scaling efficiency of SD training across
+   A100 nodes.
+3. **Flash-Decoding** — closing the decode-attention gap Table III
+   exposes.
+4. **Denoising-step pods** — the paper's Section V proposal, simulated.
+
+Run:  python examples/training_and_optimizations_study.py
+"""
+
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.models.llama import Llama, LlamaConfig
+from repro.models.stable_diffusion import StableDiffusion
+from repro.optimizations import compare_decode_attention, schedule_pods
+from repro.reporting import format_bytes, render_table
+from repro.training import (
+    estimate_training_memory,
+    minimum_gpus_for_state,
+    scaling_sweep,
+)
+
+
+def sd_forward_trace(batch: int = 16):
+    """One training forward at a realistic per-GPU batch."""
+    model = StableDiffusion()
+    ctx = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+    model.unet(ctx, TensorSpec((batch, 4, 64, 64)))
+    return model, ctx.trace
+
+
+def study_figure1(model, trace) -> None:
+    big_llm = Llama(
+        LlamaConfig(dim=8192, num_layers=80, num_heads=64,
+                    ffn_hidden=28672)
+    )
+    rows = [
+        [
+            "LLM (70B-class)",
+            f"{big_llm.param_count()/1e9:.0f}B",
+            minimum_gpus_for_state(big_llm),
+            "capacity (optimizer state)",
+        ],
+        [
+            "Stable Diffusion",
+            f"{model.param_count()/1e9:.1f}B",
+            minimum_gpus_for_state(model),
+            "throughput (state fits anywhere)",
+        ],
+    ]
+    print(render_table(
+        ["workload", "params", "min GPUs for state", "world size set by"],
+        rows, title="Study 1: what sets the training world size",
+    ))
+    memory = estimate_training_memory(
+        model, trace, world_size=512, batch_per_gpu=1
+    )  # the trace already carries the batch
+    print(
+        f"\nSD at world=512, batch 16/GPU: "
+        f"state {format_bytes(memory.model_state_bytes)}, activations "
+        f"{format_bytes(memory.activation_bytes)} -> HBM utilization "
+        f"{memory.utilization():.0%}"
+    )
+    print(
+        "-> activations, not parameters, keep TTI memory utilization "
+        "high (the Figure 1 observation).\n"
+    )
+
+
+def study_fsdp(model, trace) -> None:
+    points = scaling_sweep(
+        trace, model.param_count(), [8, 32, 128, 512], batch_per_gpu=16
+    )
+    rows = [
+        [
+            p.world_size,
+            f"{p.step_time_s*1e3:.0f} ms",
+            f"{p.samples_per_second:.0f}",
+            f"{p.communication_fraction:.0%}",
+            f"{p.scaling_efficiency:.0%}",
+        ]
+        for p in points
+    ]
+    print(render_table(
+        ["GPUs", "step time", "samples/s", "comm share", "efficiency"],
+        rows, title="Study 2: SD FSDP weak scaling on DGX-A100 pods",
+    ))
+    print()
+
+
+def study_flash_decoding() -> None:
+    rows = [
+        [
+            point.seq_kv,
+            f"{point.flash_time_s*1e6:.0f} us",
+            f"{point.flash_decoding_time_s*1e6:.0f} us",
+            point.splits,
+            f"{point.speedup:.2f}x",
+        ]
+        for point in compare_decode_attention([2048, 8192, 32768, 131072])
+    ]
+    print(render_table(
+        ["KV length", "flash", "flash-decoding", "splits", "speedup"],
+        rows,
+        title="Study 3: Flash-Decoding on decode-shaped attention "
+        "(batch 1, 32 heads)",
+    ))
+    print(
+        "-> splitting the KV axis restores the parallelism that 1xN "
+        "queries lose; the decode gap of Table III is closable.\n"
+    )
+
+
+def study_step_pods(trace) -> None:
+    rows = []
+    for copies in (2, 4, 8, 16):
+        report = schedule_pods(trace, copies)
+        rows.append(
+            [
+                copies,
+                f"{report.peak_to_average_aligned:.2f}",
+                f"{report.peak_to_average_staggered:.2f}",
+                f"{report.speedup:.3f}x",
+            ]
+        )
+    print(render_table(
+        ["concurrent images", "peak/avg aligned", "peak/avg staggered",
+         "throughput gain"],
+        rows,
+        title="Study 4: staggered denoising-step pods (Section V "
+        "proposal)",
+    ))
+    print(
+        "-> offsetting generations across the UNet's cyclic demand "
+        "profile smooths bandwidth and buys throughput at high "
+        "concurrency."
+    )
+
+
+def main() -> None:
+    model, trace = sd_forward_trace()
+    study_figure1(model, trace)
+    study_fsdp(model, trace)
+    study_flash_decoding()
+    study_step_pods(trace)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Amdahl's-law decomposition of optimization speedups (Section IV-B).
+
+The paper frames Flash Attention's end-to-end effect through Amdahl's
+law: overall speedup is set by (i) the fraction of time in Attention and
+(ii) the speedup of the Attention module itself.
+"""
+
+from __future__ import annotations
+
+
+def amdahl_speedup(fraction: float, module_speedup: float) -> float:
+    """End-to-end speedup when ``fraction`` of time speeds up by
+    ``module_speedup``."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if module_speedup <= 0:
+        raise ValueError("module speedup must be positive")
+    return 1.0 / (1.0 - fraction + fraction / module_speedup)
+
+
+def max_speedup(fraction: float) -> float:
+    """Amdahl ceiling: end-to-end speedup as module speedup -> inf."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    return 1.0 / (1.0 - fraction)
+
+
+def required_module_speedup(fraction: float, target: float) -> float:
+    """Module speedup needed to reach an end-to-end ``target``.
+
+    Raises if the target exceeds the Amdahl ceiling for this fraction.
+    """
+    if target <= 1.0:
+        return 1.0
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    ceiling = float("inf") if fraction == 1.0 else max_speedup(fraction)
+    if target >= ceiling:
+        raise ValueError(
+            f"target {target:.2f}x exceeds Amdahl ceiling {ceiling:.2f}x "
+            f"for fraction {fraction:.2f}"
+        )
+    return fraction / (1.0 / target - (1.0 - fraction))
+
+
+def implied_module_speedup(
+    total_before_s: float,
+    total_after_s: float,
+    fraction_before: float,
+) -> float:
+    """Infer the module speedup from observed end-to-end times."""
+    if min(total_before_s, total_after_s) <= 0:
+        raise ValueError("times must be positive")
+    saved = total_before_s - total_after_s
+    module_before = fraction_before * total_before_s
+    module_after = module_before - saved
+    if module_after <= 0:
+        raise ValueError(
+            "observed saving exceeds the module's entire time; "
+            "fraction_before is too small"
+        )
+    return module_before / module_after

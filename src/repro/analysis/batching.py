@@ -1,0 +1,87 @@
+"""Batch-size studies.
+
+Figure 5's caption is conditional: "Transformer-based models tend to be
+memory-bandwidth bound *at low batch sizes*" — and the paper notes low
+batch is the appropriate TTI serving regime.  This module sweeps batch
+size to expose the other side of that conditional: weight reuse across
+the batch raises arithmetic intensity until the workload crosses the
+ridge into the compute-bound region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.roofline import classify_bound
+from repro.hw.spec import A100_80GB, GPUSpec
+from repro.ir.context import AttentionImpl
+from repro.kernels.base import DEFAULT_TUNING, TuningConstants
+from repro.models.base import GenerativeModel
+from repro.profiler.profiler import profile_model
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One batch size in a serving sweep."""
+
+    batch: int
+    latency_s: float
+    throughput_per_s: float
+    traffic_intensity: float
+    bound: str
+
+    @property
+    def latency_per_sample_s(self) -> float:
+        return self.latency_s / self.batch
+
+
+def sweep_batch_sizes(
+    model: GenerativeModel,
+    batches: list[int],
+    *,
+    gpu: GPUSpec = A100_80GB,
+    attention_impl: AttentionImpl = AttentionImpl.FLASH,
+    tuning: TuningConstants = DEFAULT_TUNING,
+) -> list[BatchPoint]:
+    """Profile one model across batch sizes."""
+    if not batches:
+        raise ValueError("need at least one batch size")
+    points: list[BatchPoint] = []
+    for batch in sorted(batches):
+        if batch <= 0:
+            raise ValueError("batch sizes must be positive")
+        result = profile_model(
+            model, gpu=gpu, attention_impl=attention_impl,
+            tuning=tuning, batch=batch,
+        )
+        intensity = (
+            result.trace.total_flops / result.trace.total_moved_bytes
+        )
+        points.append(
+            BatchPoint(
+                batch=batch,
+                latency_s=result.total_time_s,
+                throughput_per_s=batch / result.total_time_s,
+                traffic_intensity=intensity,
+                bound=classify_bound(gpu, intensity),
+            )
+        )
+    return points
+
+
+def batching_efficiency(points: list[BatchPoint]) -> float:
+    """Throughput gain of the largest batch over batch-proportional
+    scaling of the smallest (1.0 = batching is free)."""
+    if len(points) < 2:
+        raise ValueError("need at least two batch points")
+    first, last = points[0], points[-1]
+    ideal = first.throughput_per_s * last.batch / first.batch
+    return last.throughput_per_s / ideal
+
+
+def crossover_batch(points: list[BatchPoint]) -> int | None:
+    """Smallest swept batch at which the model is compute-bound."""
+    for point in points:
+        if point.bound == "compute":
+            return point.batch
+    return None

@@ -1,0 +1,91 @@
+"""Model-quality Pareto analysis (Figure 4).
+
+The paper plots published FID-on-COCO scores against trainable
+parameters for the open TTI models and reads off a Pareto-optimal
+frontier containing Imagen (pixel diffusion), Stable Diffusion (latent
+diffusion) and Parti (transformer).  The FID/parameter values below are
+the previously reported numbers the paper itself uses; the frontier
+computation is ours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelQualityPoint:
+    """One model on the quality/size plane (lower FID is better)."""
+
+    name: str
+    fid: float
+    parameters: float
+    architecture: str  # "diffusion" or "transformer"
+
+    def __post_init__(self) -> None:
+        if self.fid <= 0 or self.parameters <= 0:
+            raise ValueError("FID and parameters must be positive")
+
+
+# Published FID-10K/30K on COCO and parameter counts, as cited in the
+# paper's Figure 4 (models keyed by their common names).
+FIGURE4_DATASET: tuple[ModelQualityPoint, ...] = (
+    ModelQualityPoint("Imagen", 7.27, 3.0e9, "diffusion"),
+    ModelQualityPoint("StableDiffusion", 12.63, 1.45e9, "diffusion"),
+    ModelQualityPoint("GLIDE", 12.24, 5.0e9, "diffusion"),
+    ModelQualityPoint("DALLE-2", 10.39, 5.5e9, "diffusion"),
+    ModelQualityPoint("VQ-Diffusion", 13.86, 0.37e9, "diffusion"),
+    ModelQualityPoint("ERNIE-ViLG", 6.75, 24e9, "diffusion"),
+    ModelQualityPoint("Parti", 7.23, 20e9, "transformer"),
+    ModelQualityPoint("Muse", 7.88, 3.0e9, "transformer"),
+    ModelQualityPoint("Make-A-Scene", 11.84, 4.0e9, "transformer"),
+    ModelQualityPoint("DALLE", 17.89, 12e9, "transformer"),
+    ModelQualityPoint("CogView", 27.1, 4.0e9, "transformer"),
+    ModelQualityPoint("CogView2", 24.0, 6.0e9, "transformer"),
+    ModelQualityPoint("CM3Leon", 10.82, 7.0e9, "transformer"),
+    ModelQualityPoint("RA-CM3", 15.7, 2.7e9, "transformer"),
+    ModelQualityPoint("NUWA", 12.9, 0.87e9, "transformer"),
+)
+
+
+def pareto_frontier(
+    points: tuple[ModelQualityPoint, ...] | list[ModelQualityPoint],
+) -> list[ModelQualityPoint]:
+    """Points not dominated in (FID, parameters) — both to minimize.
+
+    A point is dominated when another has both lower-or-equal FID and
+    lower-or-equal parameters (strictly better in at least one).
+    Returned sorted by parameter count.
+    """
+    frontier = [
+        candidate
+        for candidate in points
+        if not any(
+            (other.fid <= candidate.fid
+             and other.parameters <= candidate.parameters
+             and (other.fid < candidate.fid
+                  or other.parameters < candidate.parameters))
+            for other in points
+        )
+    ]
+    return sorted(frontier, key=lambda point: point.parameters)
+
+
+def quality_per_parameter(point: ModelQualityPoint) -> float:
+    """Inverse-FID per billion parameters: a crude efficiency score."""
+    return (1.0 / point.fid) / (point.parameters / 1e9)
+
+
+def best_architecture_at_size(
+    points: tuple[ModelQualityPoint, ...] | list[ModelQualityPoint],
+    max_parameters: float,
+) -> ModelQualityPoint:
+    """Lowest-FID model within a parameter budget.
+
+    The paper's observation: under ~5B parameters, diffusion wins;
+    transformers buy the last FID points with 4x the parameters.
+    """
+    eligible = [p for p in points if p.parameters <= max_parameters]
+    if not eligible:
+        raise ValueError(f"no models under {max_parameters:g} parameters")
+    return min(eligible, key=lambda point: point.fid)

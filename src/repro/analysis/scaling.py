@@ -1,0 +1,141 @@
+"""Scaling studies: image size (Figure 9) and frame count (Figure 13).
+
+Figure 9 sweeps Stable Diffusion's output size and finds that once Flash
+Attention is applied, *Convolution* execution time grows faster with
+image size than Attention.  Figure 13 sweeps video frame count and finds
+Temporal Attention FLOPs grow quadratically with frames while Spatial
+Attention grows linearly, with a resolution-dependent crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.ops import OpCategory
+from repro.ir.tensor import TensorSpec
+from repro.kernels.attention import attention_matmul_flops
+
+
+@dataclass(frozen=True)
+class ImageScalingPoint:
+    """One image size in the Figure 9 sweep."""
+
+    image_size: int
+    attention_impl: str
+    attention_time_s: float
+    conv_time_s: float
+    total_time_s: float
+
+
+def sweep_image_sizes(
+    sizes: list[int] | None = None,
+    attention_impl: AttentionImpl = AttentionImpl.FLASH,
+    denoising_steps: int = 1,
+) -> list[ImageScalingPoint]:
+    """Run the SD UNet at several output sizes; report op-class times.
+
+    One denoising step per size is enough: all steps are identical, so
+    ratios (the quantity Figure 9 plots) are unaffected.
+    """
+    from repro.models.stable_diffusion import (
+        StableDiffusion,
+        StableDiffusionConfig,
+    )
+
+    if sizes is None:
+        sizes = [64, 128, 256, 512]
+    points: list[ImageScalingPoint] = []
+    for size in sizes:
+        config = StableDiffusionConfig().at_image_size(size)
+        model = StableDiffusion(config)
+        ctx = ExecutionContext(attention_impl=attention_impl)
+        latent = TensorSpec(
+            (1, config.latent_channels, config.latent_size,
+             config.latent_size)
+        )
+        for _ in range(denoising_steps):
+            model.unet(ctx, latent)
+        times = ctx.trace.time_by_category()
+        points.append(
+            ImageScalingPoint(
+                image_size=size,
+                attention_impl=attention_impl.value,
+                attention_time_s=times.get(OpCategory.ATTENTION, 0.0),
+                conv_time_s=times.get(OpCategory.CONV, 0.0),
+                total_time_s=ctx.trace.total_time_s,
+            )
+        )
+    return points
+
+
+def scaling_rate(points: list[ImageScalingPoint], attribute: str) -> float:
+    """Growth factor of one op class across the sweep (last over first)."""
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    first = getattr(points[0], attribute)
+    last = getattr(points[-1], attribute)
+    if first <= 0:
+        raise ValueError(f"{attribute} is zero at the smallest size")
+    return last / first
+
+
+@dataclass(frozen=True)
+class FrameScalingPoint:
+    """One frame count in the Figure 13 sweep."""
+
+    frames: int
+    spatial_flops: float
+    temporal_flops: float
+
+
+def sweep_frame_counts(
+    frames: list[int] | None = None,
+    *,
+    spatial_grid: int = 16,
+    channels: int = 1024,
+    head_dim: int = 64,
+    batch: int = 1,
+) -> list[FrameScalingPoint]:
+    """FLOPs of spatial vs temporal attention as frames grow.
+
+    Per the paper's benchmark (based on TimeSformer-style space-time
+    attention), FLOPs count only the two attention matmuls:
+
+    * spatial: batch = B*F, sequence = grid^2  -> linear in F;
+    * temporal: batch = B*grid^2, sequence = F -> quadratic in F.
+    """
+    if frames is None:
+        frames = [4, 8, 16, 32, 64, 128, 256]
+    heads = max(1, channels // head_dim)
+    spatial_seq = spatial_grid * spatial_grid
+    points: list[FrameScalingPoint] = []
+    for count in frames:
+        if count <= 0:
+            raise ValueError("frame counts must be positive")
+        spatial = attention_matmul_flops(
+            batch * count, heads, spatial_seq, spatial_seq, head_dim
+        )
+        temporal = attention_matmul_flops(
+            batch * spatial_seq, heads, count, count, head_dim
+        )
+        points.append(
+            FrameScalingPoint(
+                frames=count,
+                spatial_flops=spatial,
+                temporal_flops=temporal,
+            )
+        )
+    return points
+
+
+def crossover_frames(spatial_grid: int) -> int:
+    """Frame count where temporal FLOPs overtake spatial FLOPs.
+
+    Setting batch*F*S^2 = batch*S*F^2 gives F = S = grid^2: the
+    crossover moves out quadratically with resolution, the paper's
+    "increasing image resolution prolongs the cross-over point".
+    """
+    if spatial_grid <= 0:
+        raise ValueError("grid must be positive")
+    return spatial_grid * spatial_grid

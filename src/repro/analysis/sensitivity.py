@@ -1,0 +1,119 @@
+"""Sensitivity analysis over the cost model's tuning constants.
+
+The ablation benchmarks sweep individual constants by hand; this module
+generalizes that into a library facility: perturb any
+:class:`~repro.kernels.base.TuningConstants` field, re-evaluate a
+metric, and report elasticities.  It is how the repository demonstrates
+which reproduced conclusions are *structural* (insensitive to
+calibration) and which are *calibrated* (Figure 11's time ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Callable
+
+from repro.kernels.base import DEFAULT_TUNING, TuningConstants
+
+MetricFn = Callable[[TuningConstants], float]
+
+
+def tunable_fields() -> list[str]:
+    """Names of the float-valued tuning constants."""
+    return [
+        field.name
+        for field in fields(TuningConstants)
+        if isinstance(getattr(DEFAULT_TUNING, field.name), float)
+    ]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Metric value at one perturbed constant value."""
+
+    field_name: str
+    value: float
+    metric: float
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Elasticity of a metric with respect to one constant."""
+
+    field_name: str
+    baseline_value: float
+    baseline_metric: float
+    points: tuple[SensitivityPoint, ...]
+
+    @property
+    def max_relative_change(self) -> float:
+        """Largest |metric/baseline - 1| across the sweep."""
+        if self.baseline_metric == 0:
+            raise ZeroDivisionError("baseline metric is zero")
+        return max(
+            abs(point.metric / self.baseline_metric - 1.0)
+            for point in self.points
+        )
+
+    def is_structural(self, tolerance: float = 0.1) -> bool:
+        """True when the metric moves less than ``tolerance`` across
+        the whole sweep — the conclusion does not ride on this
+        constant."""
+        return self.max_relative_change <= tolerance
+
+
+def sweep_constant(
+    field_name: str,
+    metric: MetricFn,
+    *,
+    scales: tuple[float, ...] = (0.5, 2.0),
+    baseline: TuningConstants = DEFAULT_TUNING,
+) -> SensitivityReport:
+    """Evaluate ``metric`` with one constant scaled up and down.
+
+    ``scales`` multiply the baseline value; integer-valued fields are
+    rejected (tile sizes need dedicated sweeps).
+    """
+    if field_name not in tunable_fields():
+        raise ValueError(
+            f"{field_name!r} is not a float tuning constant; "
+            f"tunable: {tunable_fields()}"
+        )
+    if not scales:
+        raise ValueError("need at least one scale")
+    base_value = getattr(baseline, field_name)
+    baseline_metric = metric(baseline)
+    points = []
+    for scale in scales:
+        if scale <= 0:
+            raise ValueError("scales must be positive")
+        value = base_value * scale
+        perturbed = replace(baseline, **{field_name: value})
+        points.append(
+            SensitivityPoint(
+                field_name=field_name,
+                value=value,
+                metric=metric(perturbed),
+            )
+        )
+    return SensitivityReport(
+        field_name=field_name,
+        baseline_value=base_value,
+        baseline_metric=baseline_metric,
+        points=tuple(points),
+    )
+
+
+def classify_constants(
+    metric: MetricFn,
+    *,
+    field_names: list[str] | None = None,
+    tolerance: float = 0.1,
+    scales: tuple[float, ...] = (0.5, 2.0),
+) -> dict[str, SensitivityReport]:
+    """Sweep several constants and report each one's elasticity."""
+    names = field_names if field_names is not None else tunable_fields()
+    return {
+        name: sweep_constant(name, metric, scales=scales)
+        for name in names
+    }

@@ -1,0 +1,122 @@
+"""Long-video requirement projection (Section VI-B).
+
+The paper closes with two trends — "(i) more frames, and (ii) higher
+resolutions" — and argues temporal attention will dominate as video
+generation matures from seconds-long clips toward movies.  This module
+projects the attention FLOPs and similarity-matrix memory of a target
+video (duration x fps x resolution) under the Figure 10 layouts, and
+reports when temporal attention overtakes spatial and when its
+similarity matrix stops fitting on a GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import A100_80GB, GPUSpec
+from repro.kernels.attention import (
+    attention_matmul_flops,
+    similarity_matrix_bytes,
+)
+
+
+@dataclass(frozen=True)
+class VideoWorkload:
+    """A target generation: duration, frame rate, latent grid."""
+
+    duration_s: float
+    fps: int
+    grid: int  # latent/token grid side
+    channels: int = 1024
+    head_dim: int = 64
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.fps <= 0 or self.grid <= 0:
+            raise ValueError("video workload dims must be positive")
+
+    @property
+    def frames(self) -> int:
+        return max(1, round(self.duration_s * self.fps))
+
+    @property
+    def pixels(self) -> int:
+        return self.grid * self.grid
+
+    @property
+    def heads(self) -> int:
+        return max(1, self.channels // self.head_dim)
+
+
+@dataclass(frozen=True)
+class VideoProjection:
+    """Per-layer attention requirements for one workload."""
+
+    workload: VideoWorkload
+    spatial_flops: float
+    temporal_flops: float
+    temporal_similarity_bytes: float
+    spatial_similarity_bytes: float
+
+    @property
+    def temporal_dominates(self) -> bool:
+        return self.temporal_flops > self.spatial_flops
+
+    def temporal_fits(
+        self, gpu: GPUSpec = A100_80GB, budget_fraction: float = 0.25
+    ) -> bool:
+        """Whether one temporal similarity matrix fits an HBM budget."""
+        return (
+            self.temporal_similarity_bytes
+            <= gpu.dram_capacity * budget_fraction
+        )
+
+
+def project(workload: VideoWorkload) -> VideoProjection:
+    """Attention FLOPs/memory for one spatiotemporal layer pass."""
+    frames = workload.frames
+    pixels = workload.pixels
+    heads = workload.heads
+    spatial = attention_matmul_flops(
+        frames, heads, pixels, pixels, workload.head_dim
+    )
+    temporal = attention_matmul_flops(
+        pixels, heads, frames, frames, workload.head_dim
+    )
+    return VideoProjection(
+        workload=workload,
+        spatial_flops=spatial,
+        temporal_flops=temporal,
+        temporal_similarity_bytes=similarity_matrix_bytes(
+            pixels, heads, frames, frames
+        ),
+        spatial_similarity_bytes=similarity_matrix_bytes(
+            frames, heads, pixels, pixels
+        ),
+    )
+
+
+def project_durations(
+    durations_s: list[float],
+    *,
+    fps: int = 24,
+    grid: int = 32,
+) -> list[VideoProjection]:
+    """Sweep target durations at fixed fps/resolution."""
+    if not durations_s:
+        raise ValueError("need at least one duration")
+    return [
+        project(VideoWorkload(duration_s=duration, fps=fps, grid=grid))
+        for duration in sorted(durations_s)
+    ]
+
+
+def movie_generation_gap(
+    clip: VideoWorkload, movie: VideoWorkload
+) -> float:
+    """Factor by which temporal-attention FLOPs grow clip -> movie.
+
+    The paper's clips are 2-3 s; a movie scene is minutes.  Quadratic
+    frame scaling makes this gap the headline argument for new TTV
+    system designs.
+    """
+    return project(movie).temporal_flops / project(clip).temporal_flops

@@ -1,0 +1,10 @@
+"""One module per table/figure of the paper's evaluation.
+
+Each module exposes ``run() -> ExperimentResult`` with the reproduced
+rows plus claim checks against the published values.  The CLI runner is
+``python -m repro.experiments`` (or the ``repro-experiments`` script).
+"""
+
+from repro.experiments.base import ClaimCheck, ExperimentResult
+
+__all__ = ["ClaimCheck", "ExperimentResult"]

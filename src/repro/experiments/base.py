@@ -1,0 +1,82 @@
+"""Experiment result structure shared by every table/figure module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.reporting.table import render_table
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One paper claim compared against the reproduced measurement."""
+
+    claim: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + claim checks for one table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    claims: list[ClaimCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(claim.holds for claim in self.claims)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for plotting pipelines)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[str(cell) for cell in row] for row in self.rows],
+            "claims": [
+                {
+                    "claim": claim.claim,
+                    "paper": claim.paper,
+                    "measured": claim.measured,
+                    "holds": claim.holds,
+                }
+                for claim in self.claims
+            ],
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        """Full text report: table, claim checks, notes."""
+        parts = [
+            render_table(
+                self.headers,
+                self.rows,
+                title=f"[{self.experiment_id}] {self.title}",
+            )
+        ]
+        if self.claims:
+            claim_rows = [
+                [
+                    "PASS" if claim.holds else "MISS",
+                    claim.claim,
+                    claim.paper,
+                    claim.measured,
+                ]
+                for claim in self.claims
+            ]
+            parts.append(
+                render_table(
+                    ["check", "claim", "paper", "measured"],
+                    claim_rows,
+                    title="Claim checks",
+                )
+            )
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)

@@ -1,0 +1,109 @@
+"""CLI harness: regenerate any (or every) table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments all
+    python -m repro.experiments fig6 table2
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import fig01_fleet, fig04_pareto, fig05_roofline
+from repro.experiments import fig06_op_breakdown, fig07_seqlen_profile
+from repro.experiments import fig08_seqlen_distribution, fig09_image_scaling
+from repro.experiments import fig10_layouts, fig11_temporal_cost
+from repro.experiments import fig12_cache, fig13_frame_scaling
+from repro.experiments import table1_taxonomy, table2_speedup
+from repro.experiments import table3_prefill_decode
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig1": fig01_fleet.run,
+    "fig4": fig04_pareto.run,
+    "fig5": fig05_roofline.run,
+    "table1": table1_taxonomy.run,
+    "fig6": fig06_op_breakdown.run,
+    "table2": table2_speedup.run,
+    "table3": table3_prefill_decode.run,
+    "fig7": fig07_seqlen_profile.run,
+    "fig8": fig08_seqlen_distribution.run,
+    "fig9": fig09_image_scaling.run,
+    "fig10": fig10_layouts.run,
+    "fig11": fig11_temporal_cost.run,
+    "fig12": fig12_cache.run,
+    "fig13": fig13_frame_scaling.run,
+}
+
+
+def run_experiments(names: list[str]) -> list[ExperimentResult]:
+    """Run experiments by id; 'all' expands to the full set."""
+    expanded: list[str] = []
+    for name in names:
+        if name == "all":
+            expanded.extend(EXPERIMENTS)
+        elif name in EXPERIMENTS:
+            expanded.append(name)
+        else:
+            raise ValueError(
+                f"unknown experiment {name!r}; known: "
+                f"{', '.join(EXPERIMENTS)}, all"
+            )
+    return [EXPERIMENTS[name]() for name in expanded]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (fig1..fig13, table1..table3) or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write results as JSON (for plotting pipelines)",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = args.experiments or ["all"]
+    try:
+        results = run_experiments(names)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps([result.to_dict() for result in results], indent=2)
+        )
+    failures = 0
+    for result in results:
+        print(result.render())
+        print()
+        failures += sum(1 for claim in result.claims if not claim.holds)
+    total_claims = sum(len(result.claims) for result in results)
+    print(
+        f"== {len(results)} experiments, "
+        f"{total_claims - failures}/{total_claims} claims hold =="
+    )
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

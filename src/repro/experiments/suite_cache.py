@@ -1,0 +1,36 @@
+"""Shared, lazily computed profiles of the eight-model suite.
+
+Several experiments (Figure 6, Tables II/III, Figure 5) consume the same
+baseline/Flash traces; profiling the full suite takes ~10 s, so results
+are cached per process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.models.base import GenerativeModel
+from repro.models.registry import build_model, suite_names
+from repro.profiler.profiler import ProfileResult, profile_both
+
+
+@lru_cache(maxsize=None)
+def model_instance(name: str) -> GenerativeModel:
+    return build_model(name)
+
+
+@lru_cache(maxsize=None)
+def suite_profiles(name: str) -> tuple[ProfileResult, ProfileResult]:
+    """(baseline, flash) profiles for one suite model, cached."""
+    return profile_both(model_instance(name))
+
+
+def all_profiles() -> dict[str, tuple[ProfileResult, ProfileResult]]:
+    """Profiles for the whole suite, in presentation order."""
+    return {name: suite_profiles(name) for name in suite_names()}
+
+
+def clear_cache() -> None:
+    """Drop cached traces (used by tuning-sensitivity benchmarks)."""
+    suite_profiles.cache_clear()
+    model_instance.cache_clear()

@@ -1,0 +1,46 @@
+"""Hardware substrate: GPU specs, roofline, caches, memory system."""
+
+from repro.hw.cache import CacheHierarchy, CacheStats, HierarchyStats, SetAssociativeCache
+from repro.hw.memory import CONTIGUOUS, AccessPattern, MemorySystem
+from repro.hw.roofline import (
+    RooflinePoint,
+    arithmetic_intensity,
+    attainable_performance,
+    classify_bound,
+    place,
+    roofline_curve,
+)
+from repro.hw.spec import (
+    A100_40GB,
+    A100_80GB,
+    H100_80GB,
+    PRESETS,
+    V100_32GB,
+    CacheSpec,
+    GPUSpec,
+    gpu_from_name,
+)
+
+__all__ = [
+    "A100_40GB",
+    "A100_80GB",
+    "AccessPattern",
+    "CONTIGUOUS",
+    "CacheHierarchy",
+    "CacheSpec",
+    "CacheStats",
+    "GPUSpec",
+    "H100_80GB",
+    "HierarchyStats",
+    "MemorySystem",
+    "PRESETS",
+    "RooflinePoint",
+    "SetAssociativeCache",
+    "V100_32GB",
+    "arithmetic_intensity",
+    "attainable_performance",
+    "classify_bound",
+    "gpu_from_name",
+    "place",
+    "roofline_curve",
+]

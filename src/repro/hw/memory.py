@@ -1,0 +1,112 @@
+"""Memory-system model: effective bandwidth as a function of locality.
+
+The kernel cost models in ``repro.kernels`` are rooflines with one
+refinement: the bandwidth that bounds a kernel depends on *where* its
+working set lives.  A baseline-attention softmax over a similarity
+matrix that fits in L2 streams at L2 bandwidth; one that spills streams
+at HBM bandwidth.  This distinction is what makes Flash Attention's
+speedup depend on sequence length (Section IV-B): decode-shaped
+attention (1xN queries) has a tiny similarity matrix that was already
+cache-resident, so removing its HBM round-trips buys little.
+
+Strided access additionally derates bandwidth: DRAM and caches move full
+lines, so a stream touching ``useful_bytes`` out of every line wastes the
+rest.  Temporal attention's transposed layout (Figure 10) is the extreme
+case and drives the Figure 11/12 results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import GPUSpec
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Locality description of a kernel's dominant data stream.
+
+    Attributes:
+        working_set_bytes: bytes the kernel touches repeatedly (its
+            resident footprint while running).
+        element_stride_bytes: distance between consecutively accessed
+            elements. ``<= element_bytes`` means fully contiguous.
+        element_bytes: size of each accessed element.
+    """
+
+    working_set_bytes: float
+    element_stride_bytes: int = 0
+    element_bytes: int = 2
+
+    @property
+    def contiguous(self) -> bool:
+        return self.element_stride_bytes <= self.element_bytes
+
+
+CONTIGUOUS = AccessPattern(working_set_bytes=float("inf"))
+
+
+class MemorySystem:
+    """Computes effective bandwidths for kernel cost models.
+
+    ``residency_fraction`` discounts cache capacity when deciding where
+    a working set lives: data produced by one kernel and consumed by the
+    next shares the cache with everything else in flight, so only a
+    fraction of nominal capacity is realistically available for
+    cross-kernel reuse.
+    """
+
+    def __init__(self, spec: GPUSpec, residency_fraction: float = 0.5):
+        if not 0.0 < residency_fraction <= 1.0:
+            raise ValueError("residency_fraction must be in (0, 1]")
+        self.spec = spec
+        self.residency_fraction = residency_fraction
+
+    def line_utilization(self, pattern: AccessPattern) -> float:
+        """Fraction of each fetched cache line that is useful.
+
+        Contiguous streams use whole lines (1.0).  A strided stream with
+        stride >= line size fetches a full line per element.
+        """
+        if pattern.contiguous:
+            return 1.0
+        line = self.spec.l2.line_bytes
+        stride = pattern.element_stride_bytes
+        useful_per_line = max(
+            pattern.element_bytes, line // max(1, stride // pattern.element_bytes)
+        )
+        if stride >= line:
+            useful_per_line = pattern.element_bytes
+        return min(1.0, useful_per_line / line)
+
+    def residence_bandwidth(self, working_set_bytes: float) -> float:
+        """Raw bandwidth of the level the working set is resident in.
+
+        ``l1_per_sm.bandwidth_bytes_per_s`` is the device-aggregate L1
+        bandwidth (the per-SM figure is not useful on its own for a
+        kernel that fills the machine).
+        """
+        spec = self.spec
+        fraction = self.residency_fraction
+        if working_set_bytes <= spec.l1_total_bytes * fraction:
+            return spec.l1_per_sm.bandwidth_bytes_per_s
+        if working_set_bytes <= spec.l2.capacity_bytes * fraction:
+            return spec.l2.bandwidth_bytes_per_s
+        return spec.dram_bandwidth
+
+    def effective_bandwidth(self, pattern: AccessPattern) -> float:
+        """Bandwidth a kernel with this pattern actually achieves.
+
+        Residence level picks the raw bandwidth; line utilization derates
+        it for strided streams.
+        """
+        raw = self.residence_bandwidth(pattern.working_set_bytes)
+        return raw * self.line_utilization(pattern)
+
+    def streaming_time(self, bytes_moved: float, pattern: AccessPattern) -> float:
+        """Seconds to move ``bytes_moved`` under ``pattern``."""
+        if bytes_moved < 0:
+            raise ValueError("bytes_moved must be non-negative")
+        if bytes_moved == 0:
+            return 0.0
+        return bytes_moved / self.effective_bandwidth(pattern)

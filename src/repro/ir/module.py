@@ -1,0 +1,125 @@
+"""Module tree with forward hooks.
+
+``Module`` mirrors the slice of ``torch.nn.Module`` the paper's
+methodology relies on: a named tree of components whose forward
+functions can be hooked ("we develop a profiling framework ... via
+inserting hooks into the forward functions of each module"), plus
+parameter counting for the roofline and taxonomy analyses.
+
+Subclasses implement ``forward(ctx, *args)`` where ``ctx`` is an
+:class:`repro.ir.context.ExecutionContext`; inside ``forward`` they emit
+operators via ``ctx.emit`` or call child modules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+ForwardHook = Callable[["Module", "Any", tuple, Any], None]
+PreForwardHook = Callable[["Module", "Any", tuple], None]
+
+
+class Module:
+    """Base class for all model components."""
+
+    def __init__(self, name: str | None = None):
+        # Bypass __setattr__ child registration for internal state.
+        object.__setattr__(self, "_children", {})
+        object.__setattr__(self, "_forward_hooks", [])
+        object.__setattr__(self, "_pre_forward_hooks", [])
+        object.__setattr__(self, "name", name or type(self).__name__)
+
+    # -- tree structure --------------------------------------------------
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        if isinstance(value, Module) and not key.startswith("_"):
+            self._children[key] = value
+        object.__setattr__(self, key, value)
+
+    def add_module(self, key: str, module: "Module") -> "Module":
+        """Explicitly register a child (used for list-like containers)."""
+        self._children[key] = module
+        object.__setattr__(self, key, module)
+        return module
+
+    def named_children(self) -> Iterator[tuple[str, "Module"]]:
+        """(attribute name, child) pairs in registration order."""
+        return iter(self._children.items())
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and all descendants, depth-first."""
+        yield self
+        for child in self._children.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """(dotted path, module) pairs over this subtree, depth-first."""
+        path = prefix or self.name
+        yield path, self
+        for key, child in self._children.items():
+            yield from child.named_modules(f"{path}.{key}")
+
+    # -- parameters -------------------------------------------------------
+
+    def own_param_count(self) -> int:
+        """Parameters held directly by this module (children excluded)."""
+        return 0
+
+    def param_count(self) -> int:
+        """Total trainable parameters in this subtree."""
+        return self.own_param_count() + sum(
+            child.param_count() for child in self._children.values()
+        )
+
+    def param_bytes(self, bytes_per_param: int = 2) -> int:
+        """Model capacity in bytes (FP16 by default, per the paper)."""
+        return self.param_count() * bytes_per_param
+
+    # -- hooks & execution -------------------------------------------------
+
+    def register_forward_hook(self, hook: ForwardHook) -> Callable[[], None]:
+        """Add a post-forward hook; returns a remover callable."""
+        self._forward_hooks.append(hook)
+        return lambda: self._forward_hooks.remove(hook)
+
+    def register_pre_forward_hook(
+        self, hook: PreForwardHook
+    ) -> Callable[[], None]:
+        """Add a hook that fires before forward; returns a remover."""
+        self._pre_forward_hooks.append(hook)
+        return lambda: self._pre_forward_hooks.remove(hook)
+
+    def forward(self, ctx: Any, *args: Any, **kwargs: Any) -> Any:
+        """Emit this module's operators into ``ctx``; return outputs."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement forward()"
+        )
+
+    def __call__(self, ctx: Any, *args: Any, **kwargs: Any) -> Any:
+        for hook in self._pre_forward_hooks:
+            hook(self, ctx, args)
+        with ctx.module_scope(self):
+            output = self.forward(ctx, *args, **kwargs)
+        for hook in self._forward_hooks:
+            hook(self, ctx, args, output)
+        return output
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"params={self.param_count():,})"
+        )
+
+
+class Sequential(Module):
+    """Runs children in order, feeding each the previous output."""
+
+    def __init__(self, *stages: Module, name: str | None = None):
+        super().__init__(name=name)
+        for index, stage in enumerate(stages):
+            self.add_module(str(index), stage)
+
+    def forward(self, ctx: Any, x: Any) -> Any:
+        for child in self._children.values():
+            x = child(ctx, x)
+        return x

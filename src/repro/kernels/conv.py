@@ -1,0 +1,65 @@
+"""Convolution kernel cost model (implicit GEMM).
+
+Convolution is the operator the paper finds *becomes* the bottleneck of
+diffusion-based TTI models once Flash Attention removes the attention
+bottleneck (up to 44% of execution time, Section IV-A), and it is the
+operator whose execution time scales fastest with image size (Figure 9).
+
+cuDNN lowers convolutions to implicit GEMM on tensor cores: the output
+pixels form the M dimension, output channels form N, and the unrolled
+receptive field (Cin * kh * kw) forms K.  We reuse the GEMM tiling
+efficiency model on that shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.memory import AccessPattern
+from repro.ir.ops import Conv2d, Conv3d
+from repro.ir.trace import KernelCost
+from repro.kernels.base import CostModelBase, tile_quantization, wave_efficiency
+
+
+class ConvCostModel(CostModelBase):
+    """Times 2D and 3D convolutions via their implicit-GEMM shape."""
+
+    def _implicit_gemm_dims(self, op: Conv2d | Conv3d) -> tuple[int, int, int]:
+        if isinstance(op, Conv3d):
+            m = op.batch * op.frames * op.out_h * op.out_w
+            k = op.in_channels * op.kt * op.kh * op.kw
+        else:
+            m = op.batch * op.out_h * op.out_w
+            k = (op.in_channels // op.groups) * op.kh * op.kw
+        return m, op.out_channels, k
+
+    def utilization(self, op: Conv2d | Conv3d) -> float:
+        """Tensor-core efficiency of the implicit-GEMM lowering."""
+        tuning = self.tuning
+        m, n, k = self._implicit_gemm_dims(op)
+        quant = tile_quantization(
+            m, n, k,
+            tuning.gemm_tile_m, tuning.gemm_tile_n, tuning.gemm_tile_k,
+        )
+        ctas = math.ceil(m / tuning.gemm_tile_m) * math.ceil(
+            n / tuning.gemm_tile_n
+        )
+        wave = wave_efficiency(ctas, self.spec.sm_count)
+        base = (
+            tuning.conv_base_utilization
+            if op.dtype.tensor_core
+            else tuning.vector_utilization
+        )
+        return base * quant * wave
+
+    def estimate(self, op: Conv2d | Conv3d) -> KernelCost:
+        """Roofline cost of one convolution launch."""
+        pattern = AccessPattern(working_set_bytes=op.total_bytes())
+        return self.build_cost(
+            flops=op.flops(),
+            compute_peak=self.matmul_peak(op.dtype),
+            utilization=self.utilization(op),
+            moved_bytes=op.total_bytes(),
+            pattern=pattern,
+            launches=1,
+        )

@@ -1,0 +1,53 @@
+"""Cost-model dispatch: one entry point for the execution context."""
+
+from __future__ import annotations
+
+from repro.hw.spec import GPUSpec
+from repro.ir.ops import (
+    Conv2d,
+    Conv3d,
+    Elementwise,
+    Embedding,
+    FusedAttention,
+    Gemm,
+    GroupNorm,
+    LayerNorm,
+    Op,
+    Resample,
+    Softmax,
+    Transpose,
+)
+from repro.ir.trace import KernelCost
+from repro.kernels.base import DEFAULT_TUNING, TuningConstants
+from repro.kernels.conv import ConvCostModel
+from repro.kernels.flash_attention import FlashAttentionCostModel
+from repro.kernels.gemm import GemmCostModel
+from repro.kernels.normalization import BandwidthCostModel
+
+
+class CostEstimator:
+    """Routes each operator to its kernel cost model."""
+
+    def __init__(self, spec: GPUSpec, tuning: TuningConstants = DEFAULT_TUNING):
+        self.spec = spec
+        self.tuning = tuning
+        self.gemm = GemmCostModel(spec, tuning)
+        self.conv = ConvCostModel(spec, tuning)
+        self.flash = FlashAttentionCostModel(spec, tuning)
+        self.bandwidth = BandwidthCostModel(spec, tuning)
+
+    def estimate(self, op: Op) -> KernelCost:
+        """Cost one operator launch via its kernel model."""
+        if isinstance(op, Gemm):
+            return self.gemm.estimate(op)
+        if isinstance(op, (Conv2d, Conv3d)):
+            return self.conv.estimate(op)
+        if isinstance(op, FusedAttention):
+            return self.flash.estimate(op)
+        if isinstance(
+            op,
+            (Softmax, GroupNorm, LayerNorm, Elementwise, Embedding, Resample,
+             Transpose),
+        ):
+            return self.bandwidth.estimate(op)
+        raise TypeError(f"no cost model for operator type {type(op).__name__}")

@@ -1,0 +1,75 @@
+"""GEMM kernel cost model.
+
+Linear layers are the paper's headline bottleneck for transformer-based
+TTI models (up to 49% of execution time after Flash Attention), so the
+GEMM model carries the most calibration weight.  It is a roofline with
+two shape effects layered on top:
+
+* **tile quantization** — dimensions are padded to the kernel's tile
+  shape, so skinny GEMMs (autoregressive decode: m=1) waste almost all
+  issued math;
+* **wave quantization** — the CTA grid rarely divides the SM count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.memory import AccessPattern
+from repro.ir.ops import Gemm
+from repro.ir.trace import KernelCost
+from repro.kernels.base import CostModelBase, tile_quantization, wave_efficiency
+
+
+class GemmCostModel(CostModelBase):
+    """Times a (batched) GEMM on the configured GPU."""
+
+    def utilization(self, op: Gemm) -> float:
+        """Fraction of peak matmul throughput this shape achieves."""
+        tuning = self.tuning
+        quant = tile_quantization(
+            op.m, op.n, op.k,
+            tuning.gemm_tile_m, tuning.gemm_tile_n, tuning.gemm_tile_k,
+        )
+        ctas = (
+            math.ceil(op.m / tuning.gemm_tile_m)
+            * math.ceil(op.n / tuning.gemm_tile_n)
+            * op.batch
+        )
+        wave = wave_efficiency(ctas, self.spec.sm_count)
+        base = (
+            tuning.gemm_base_utilization
+            if op.dtype.tensor_core
+            else tuning.vector_utilization
+        )
+        return base * quant * wave
+
+    def access_pattern(self, op: Gemm) -> AccessPattern:
+        """Working set decides the residence level of the traffic.
+
+        The attention similarity matrix written by QK^T (and re-read by
+        PV) is the interesting case: when it spills past L2 the GEMM runs
+        at HBM bandwidth, which is the traffic Flash Attention removes.
+        """
+        working_set = op.read_bytes() + op.write_bytes()
+        stride = 0
+        if op.attention is not None:
+            stride = op.attention.element_stride_bytes
+        return AccessPattern(
+            working_set_bytes=working_set,
+            element_stride_bytes=stride,
+            element_bytes=op.dtype.size,
+        )
+
+    def estimate(self, op: Gemm) -> KernelCost:
+        """Roofline cost of one (batched) GEMM launch."""
+        peak = self.matmul_peak(op.dtype)
+        return self.build_cost(
+            flops=op.flops(),
+            compute_peak=peak,
+            utilization=self.utilization(op),
+            moved_bytes=op.total_bytes(),
+            pattern=self.access_pattern(op),
+            launches=1,
+            bandwidth_derate=self.locality_derate(op),
+        )

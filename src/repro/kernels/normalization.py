@@ -1,0 +1,52 @@
+"""Normalization / softmax / elementwise kernel cost models.
+
+These kernels are pure bandwidth: their time is the number of passes
+over their operand divided by the bandwidth of wherever that operand
+lives.  GroupNorm's 4-11% share of diffusion-model time (Figure 6) and
+the softmax cost of baseline attention both come straight from this
+model.
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import AccessPattern
+from repro.ir.ops import Elementwise, Embedding, GroupNorm, LayerNorm, Resample, Softmax, Transpose
+from repro.ir.trace import KernelCost
+from repro.kernels.base import CostModelBase
+
+BandwidthOp = (
+    Softmax | GroupNorm | LayerNorm | Elementwise | Embedding | Resample | Transpose
+)
+
+
+class BandwidthCostModel(CostModelBase):
+    """Times memory-bound kernels."""
+
+    def access_pattern(self, op: BandwidthOp) -> AccessPattern:
+        """Locality of the kernel's streaming operand."""
+        stride = 0
+        if op.attention is not None:
+            stride = op.attention.element_stride_bytes
+        return AccessPattern(
+            working_set_bytes=op.total_bytes(),
+            element_stride_bytes=stride,
+            element_bytes=op.dtype.size,
+        )
+
+    def estimate(self, op: BandwidthOp) -> KernelCost:
+        """Bandwidth-bound cost of one launch."""
+        derate = self.locality_derate(op)
+        if (
+            isinstance(op, (GroupNorm, LayerNorm))
+            and op.total_bytes() < self.tuning.norm_derate_threshold_bytes
+        ):
+            derate *= self.tuning.norm_bandwidth_derate
+        return self.build_cost(
+            flops=op.flops(),
+            compute_peak=self.vector_peak(),
+            utilization=1.0,
+            moved_bytes=op.total_bytes(),
+            pattern=self.access_pattern(op),
+            launches=1,
+            bandwidth_derate=derate,
+        )

@@ -1,0 +1,53 @@
+"""Model building blocks (the ``torch.nn`` analog)."""
+
+from repro.layers.attention import (
+    MultiHeadAttention,
+    SpatialSelfAttention,
+    SpatialTransformer,
+    TemporalAttentionLayer,
+    emit_attention_core,
+)
+from repro.layers.conv import (
+    Conv2dLayer,
+    Conv3dLayer,
+    Downsample,
+    TemporalConv,
+    Upsample,
+)
+from repro.layers.embedding import TimestepEmbedding, TokenEmbedding
+from repro.layers.linear import FeedForward, Linear
+from repro.layers.norm import GroupNormLayer, LayerNormLayer, RMSNormLayer
+from repro.layers.resnet import ResnetBlock2D, ResnetBlock3D
+from repro.layers.transformer import (
+    TransformerBlock,
+    TransformerConfig,
+    TransformerStack,
+)
+from repro.layers.unet import UNet, UNetConfig
+
+__all__ = [
+    "Conv2dLayer",
+    "Conv3dLayer",
+    "Downsample",
+    "FeedForward",
+    "GroupNormLayer",
+    "LayerNormLayer",
+    "Linear",
+    "MultiHeadAttention",
+    "RMSNormLayer",
+    "ResnetBlock2D",
+    "ResnetBlock3D",
+    "SpatialSelfAttention",
+    "SpatialTransformer",
+    "TemporalAttentionLayer",
+    "TemporalConv",
+    "TimestepEmbedding",
+    "TokenEmbedding",
+    "TransformerBlock",
+    "TransformerConfig",
+    "TransformerStack",
+    "UNet",
+    "UNetConfig",
+    "Upsample",
+    "emit_attention_core",
+]

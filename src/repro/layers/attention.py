@@ -1,0 +1,485 @@
+"""Attention layers.
+
+This module owns the baseline-vs-Flash lowering decision (Figure 6's
+left/right bars) and defines the three attention varieties the paper
+analyzes:
+
+* :class:`MultiHeadAttention` — ordinary token attention with optional
+  causality, KV-caching (decode) and cross-attention, used by the LLM
+  and transformer-TTI models;
+* :class:`SpatialSelfAttention` / :class:`SpatialTransformer` — image
+  attention inside UNets, whose sequence length is the flattened latent
+  (``H*W``, Section V);
+* :class:`TemporalAttentionLayer` — TTV frame attention, whose sequence
+  length is the *frame count* after the Figure 10 dimension rearrange.
+"""
+
+from __future__ import annotations
+
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.module import Module
+from repro.ir.ops import (
+    AttentionInfo,
+    AttentionKind,
+    AttentionRole,
+    Elementwise,
+    FusedAttention,
+    Gemm,
+    OpCategory,
+    Softmax,
+    Transpose,
+)
+from repro.ir.tensor import TensorSpec
+from repro.layers.linear import Linear
+from repro.ir.ops import OpCategory as _Cat
+from repro.layers.norm import GroupNormLayer, LayerNormLayer
+
+ANCHOR = frozenset({"attention_anchor"})
+
+
+def emit_attention_core(
+    ctx: ExecutionContext,
+    *,
+    batch: int,
+    num_heads: int,
+    seq_q: int,
+    seq_kv: int,
+    head_dim: int,
+    role: AttentionRole,
+    kind: AttentionKind,
+    causal: bool = False,
+    element_stride_bytes: int = 0,
+) -> None:
+    """Lower one attention call to kernels per the context's impl.
+
+    Baseline lowering mirrors the pre-Flash PyTorch path (diffusers /
+    fairseq era): QK^T GEMM materializing the similarity matrix, a
+    scale (and mask, if causal) pass over it, softmax, then the PV GEMM
+    re-reading it.  Flash lowering is a single fused kernel.
+    """
+    info = AttentionInfo(
+        role=role,
+        kind=kind,
+        seq_q=seq_q,
+        seq_kv=seq_kv,
+        head_dim=head_dim,
+        num_heads=num_heads,
+        batch=batch,
+        element_stride_bytes=element_stride_bytes,
+    )
+    if ctx.attention_impl is AttentionImpl.FLASH:
+        ctx.emit(
+            FusedAttention(
+                "flash_attention",
+                batch=batch,
+                seq_q=seq_q,
+                seq_kv=seq_kv,
+                head_dim=head_dim,
+                num_heads=num_heads,
+                causal=causal,
+                attention=info,
+            ),
+            flags=ANCHOR,
+        )
+        return
+    batch_heads = batch * num_heads
+    similarity_numel = batch_heads * seq_q * seq_kv
+    ctx.emit(
+        Gemm(
+            "attn_qk",
+            m=seq_q,
+            n=seq_kv,
+            k=head_dim,
+            batch=batch_heads,
+            category_override=OpCategory.ATTENTION,
+            attention=info,
+        ),
+        flags=ANCHOR,
+    )
+    # Scale (and causal-mask fill) pass over the similarity matrix.
+    passes = 2 if causal else 1
+    for index in range(passes):
+        ctx.emit(
+            Elementwise(
+                "attn_scale" if index == 0 else "attn_mask",
+                numel=similarity_numel,
+                inputs=1,
+                flops_per_element=1.0,
+                category_override=OpCategory.ATTENTION,
+                attention=info,
+            )
+        )
+    ctx.emit(
+        Softmax(
+            "attn_softmax",
+            rows=batch_heads * seq_q,
+            cols=seq_kv,
+            attention=info,
+        )
+    )
+    ctx.emit(
+        Gemm(
+            "attn_pv",
+            m=seq_q,
+            n=head_dim,
+            k=seq_kv,
+            batch=batch_heads,
+            category_override=OpCategory.ATTENTION,
+            attention=info,
+        )
+    )
+
+
+class MultiHeadAttention(Module):
+    """Token-sequence attention with optional cross-context and KV cache."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        kv_dim: int | None = None,
+        causal: bool = False,
+        kind: AttentionKind = AttentionKind.TOKEN,
+        name: str | None = None,
+    ):
+        super().__init__(name=name or "attention")
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.kind = kind
+        kv_dim = kv_dim or dim
+        self.q_proj = Linear(dim, dim, bias=False, category=_Cat.ATTENTION, name="q_proj")
+        self.k_proj = Linear(kv_dim, dim, bias=False, category=_Cat.ATTENTION, name="k_proj")
+        self.v_proj = Linear(kv_dim, dim, bias=False, category=_Cat.ATTENTION, name="v_proj")
+        self.out_proj = Linear(dim, dim, bias=False, category=_Cat.ATTENTION, name="out_proj")
+
+    def forward(
+        self,
+        ctx: ExecutionContext,
+        x: TensorSpec,
+        context: TensorSpec | None = None,
+        past_length: int = 0,
+    ) -> TensorSpec:
+        """x: (B, N, dim). ``context`` switches to cross-attention;
+        ``past_length`` adds a KV cache (decode)."""
+        if x.rank != 3:
+            raise ValueError(f"{self.name}: expected (B, N, D), got {x.shape}")
+        batch, seq_q, _ = x.shape
+        kv_source = context if context is not None else x
+        seq_kv = kv_source.shape[1] + (
+            past_length if context is None else 0
+        )
+        q = self.q_proj(ctx, x)
+        self.k_proj(ctx, kv_source)
+        self.v_proj(ctx, kv_source)
+        role = AttentionRole.CROSS if context is not None else AttentionRole.SELF
+        emit_attention_core(
+            ctx,
+            batch=batch,
+            num_heads=self.num_heads,
+            seq_q=seq_q,
+            seq_kv=seq_kv,
+            head_dim=self.head_dim,
+            role=role,
+            kind=self.kind,
+            causal=self.causal and context is None,
+        )
+        return self.out_proj(ctx, q)
+
+
+class SpatialSelfAttention(Module):
+    """Imagen-style attention block on (B, C, H, W) feature maps.
+
+    GroupNorm, fused QKV 1x1 projection, attention over the flattened
+    ``H*W`` sequence, output projection.  Sequence length is
+    ``(H*W)`` — the paper's Section V relationship to image size.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        head_dim: int = 64,
+        text_dim: int | None = None,
+        text_seq: int = 0,
+        name: str | None = None,
+    ):
+        super().__init__(name=name or "spatial_attention")
+        self.channels = channels
+        self.head_dim = min(head_dim, channels)
+        self.num_heads = max(1, channels // self.head_dim)
+        self.text_dim = text_dim
+        self.text_seq = text_seq
+        self.norm = GroupNormLayer(channels)
+        self.qkv = Linear(channels, 3 * channels, category=_Cat.ATTENTION, name="qkv_proj")
+        self.out = Linear(channels, channels, category=_Cat.ATTENTION, name="out_proj")
+        if text_dim is not None:
+            self.text_kv = Linear(text_dim, 2 * channels, category=_Cat.ATTENTION, name="text_kv_proj")
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        if x.rank != 4:
+            raise ValueError(
+                f"{self.name}: expected (B, C, H, W), got {x.shape}"
+            )
+        batch, channels, h, w = x.shape
+        seq = h * w
+        self.norm(ctx, x)
+        # einops-style (B, C, H, W) -> (B, HW, C) rearrange is a copy.
+        ctx.emit(
+            Transpose(
+                "rearrange_in",
+                numel=x.numel,
+                category_override=OpCategory.ATTENTION,
+            )
+        )
+        tokens = x.with_shape(batch, seq, channels)
+        self.qkv(ctx, tokens)
+        emit_attention_core(
+            ctx,
+            batch=batch,
+            num_heads=self.num_heads,
+            seq_q=seq,
+            seq_kv=seq,
+            head_dim=self.head_dim,
+            role=AttentionRole.SELF,
+            kind=AttentionKind.SPATIAL,
+        )
+        if self.text_dim is not None and self.text_seq:
+            text = TensorSpec((batch, self.text_seq, self.text_dim), x.dtype)
+            self.text_kv(ctx, text)
+            emit_attention_core(
+                ctx,
+                batch=batch,
+                num_heads=self.num_heads,
+                seq_q=seq,
+                seq_kv=self.text_seq,
+                head_dim=self.head_dim,
+                role=AttentionRole.CROSS,
+                kind=AttentionKind.SPATIAL,
+            )
+        self.out(ctx, tokens)
+        ctx.emit(
+            Transpose(
+                "rearrange_out",
+                numel=x.numel,
+                category_override=OpCategory.ATTENTION,
+            )
+        )
+        return x
+
+
+class SpatialTransformer(Module):
+    """Stable-Diffusion-style transformer block on feature maps.
+
+    1x1 proj-in, then ``depth`` blocks of (LayerNorm, spatial
+    self-attention, LayerNorm, text cross-attention, LayerNorm, GEGLU
+    feed-forward), then 1x1 proj-out with residual.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        head_dim: int,
+        text_dim: int,
+        text_seq: int,
+        depth: int = 1,
+        name: str | None = None,
+    ):
+        super().__init__(name=name or "spatial_transformer")
+        from repro.layers.linear import FeedForward
+
+        self.channels = channels
+        self.head_dim = min(head_dim, channels)
+        self.num_heads = max(1, channels // self.head_dim)
+        self.text_dim = text_dim
+        self.text_seq = text_seq
+        self.depth = depth
+        self.norm = GroupNormLayer(channels)
+        self.proj_in = Linear(channels, channels, name="proj_in")
+        self.proj_out = Linear(channels, channels, name="proj_out")
+        self.norms1: list[LayerNormLayer] = []
+        self.norms2: list[LayerNormLayer] = []
+        self.norms3: list[LayerNormLayer] = []
+        self.self_qkvs: list[Linear] = []
+        self.self_outs: list[Linear] = []
+        self.cross_qs: list[Linear] = []
+        self.cross_kvs: list[Linear] = []
+        self.cross_outs: list[Linear] = []
+        self.ffs: list[FeedForward] = []
+        for index in range(depth):
+            self.norms1.append(
+                self.add_module(f"norm1_{index}", LayerNormLayer(channels))
+            )
+            self.self_qkvs.append(
+                self.add_module(
+                    f"self_qkv_{index}",
+                    Linear(channels, 3 * channels, category=_Cat.ATTENTION, name="self_qkv"),
+                )
+            )
+            self.self_outs.append(
+                self.add_module(
+                    f"self_out_{index}",
+                    Linear(channels, channels, category=_Cat.ATTENTION, name="self_out"),
+                )
+            )
+            self.norms2.append(
+                self.add_module(f"norm2_{index}", LayerNormLayer(channels))
+            )
+            self.norms3.append(
+                self.add_module(f"norm3_{index}", LayerNormLayer(channels))
+            )
+            self.cross_qs.append(
+                self.add_module(
+                    f"cross_q_{index}",
+                    Linear(channels, channels, category=_Cat.ATTENTION, name="cross_q"),
+                )
+            )
+            self.cross_kvs.append(
+                self.add_module(
+                    f"cross_kv_{index}",
+                    Linear(text_dim, 2 * channels, category=_Cat.ATTENTION, name="cross_kv"),
+                )
+            )
+            self.cross_outs.append(
+                self.add_module(
+                    f"cross_out_{index}",
+                    Linear(channels, channels, category=_Cat.ATTENTION, name="cross_out"),
+                )
+            )
+            self.ffs.append(
+                self.add_module(
+                    f"ff_{index}",
+                    FeedForward(channels, hidden_dim=4 * channels, gated=True),
+                )
+            )
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        if x.rank != 4:
+            raise ValueError(
+                f"{self.name}: expected (B, C, H, W), got {x.shape}"
+            )
+        batch, channels, h, w = x.shape
+        seq = h * w
+        self.norm(ctx, x)
+        tokens = x.with_shape(batch, seq, channels)
+        self.proj_in(ctx, tokens)
+        text = TensorSpec((batch, self.text_seq, self.text_dim), x.dtype)
+        for index in range(self.depth):
+            self.norms1[index](ctx, tokens)
+            self.self_qkvs[index](ctx, tokens)
+            emit_attention_core(
+                ctx,
+                batch=batch,
+                num_heads=self.num_heads,
+                seq_q=seq,
+                seq_kv=seq,
+                head_dim=self.head_dim,
+                role=AttentionRole.SELF,
+                kind=AttentionKind.SPATIAL,
+            )
+            self.self_outs[index](ctx, tokens)
+            self.norms2[index](ctx, tokens)
+            self.cross_qs[index](ctx, tokens)
+            self.cross_kvs[index](ctx, text)
+            emit_attention_core(
+                ctx,
+                batch=batch,
+                num_heads=self.num_heads,
+                seq_q=seq,
+                seq_kv=self.text_seq,
+                head_dim=self.head_dim,
+                role=AttentionRole.CROSS,
+                kind=AttentionKind.SPATIAL,
+            )
+            self.cross_outs[index](ctx, tokens)
+            self.norms3[index](ctx, tokens)
+            self.ffs[index](ctx, tokens)
+        self.proj_out(ctx, tokens)
+        return x
+
+
+class TemporalAttentionLayer(Module):
+    """Frame-wise attention on (B, C, F, H, W) video activations.
+
+    Implements the Figure 10 rearrangement: spatial positions move into
+    the batch dimension and the frame axis becomes the sequence, so the
+    effective sequence length is the number of frames.  The two
+    ``einops``-style rearranges are materialized copies and are part of
+    what module-level profiling attributes to Temporal Attention.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        head_dim: int = 64,
+        materialize_transpose: bool = True,
+        name: str | None = None,
+    ):
+        super().__init__(name=name or "temporal_attention")
+        self.channels = channels
+        self.head_dim = min(head_dim, channels)
+        self.num_heads = max(1, channels // self.head_dim)
+        self.materialize_transpose = materialize_transpose
+        self.norm = GroupNormLayer(channels)
+        self.qkv = Linear(channels, 3 * channels, category=_Cat.ATTENTION, name="qkv_proj")
+        self.out = Linear(channels, channels, category=_Cat.ATTENTION, name="out_proj")
+
+    def attention_info(self, x: TensorSpec) -> AttentionInfo:
+        """The attention configuration this input produces (for the
+        Figure 12 cache study)."""
+        batch, channels, frames, h, w = x.shape
+        stride = 0
+        if not self.materialize_transpose:
+            stride = h * w * channels * x.dtype.size
+        return AttentionInfo(
+            role=AttentionRole.SELF,
+            kind=AttentionKind.TEMPORAL,
+            seq_q=frames,
+            seq_kv=frames,
+            head_dim=self.head_dim,
+            num_heads=self.num_heads,
+            batch=batch * h * w,
+            element_stride_bytes=stride,
+        )
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        if x.rank != 5:
+            raise ValueError(
+                f"{self.name}: expected (B, C, F, H, W), got {x.shape}"
+            )
+        batch, channels, frames, h, w = x.shape
+        self.norm(ctx, x)
+        if self.materialize_transpose:
+            ctx.emit(
+                Transpose(
+                    "rearrange_in",
+                    numel=x.numel,
+                    category_override=OpCategory.ATTENTION,
+                )
+            )
+        tokens = x.with_shape(batch * h * w, frames, channels)
+        self.qkv(ctx, tokens)
+        info = self.attention_info(x)
+        emit_attention_core(
+            ctx,
+            batch=info.batch,
+            num_heads=info.num_heads,
+            seq_q=frames,
+            seq_kv=frames,
+            head_dim=info.head_dim,
+            role=AttentionRole.SELF,
+            kind=AttentionKind.TEMPORAL,
+            element_stride_bytes=info.element_stride_bytes,
+        )
+        self.out(ctx, tokens)
+        if self.materialize_transpose:
+            ctx.emit(
+                Transpose(
+                    "rearrange_out",
+                    numel=x.numel,
+                    category_override=OpCategory.ATTENTION,
+                )
+            )
+        return x

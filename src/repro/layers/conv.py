@@ -1,0 +1,155 @@
+"""Convolution layers: the UNet's workhorse operators."""
+
+from __future__ import annotations
+
+from repro.ir.context import ExecutionContext
+from repro.ir.module import Module
+from repro.ir.ops import Conv2d, Conv3d, Resample
+from repro.ir.tensor import TensorSpec
+
+
+class Conv2dLayer(Module):
+    """2D convolution on (B, C, H, W)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        name: str | None = None,
+    ):
+        super().__init__(name=name or f"conv{kernel}x{kernel}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+
+    def own_param_count(self) -> int:
+        return (
+            self.in_channels * self.out_channels * self.kernel * self.kernel
+            + self.out_channels
+        )
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        if x.rank != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (B, {self.in_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        batch, _, h, w = x.shape
+        op = Conv2d(
+            self.name,
+            batch=batch,
+            in_channels=self.in_channels,
+            out_channels=self.out_channels,
+            h=h,
+            w=w,
+            kh=self.kernel,
+            kw=self.kernel,
+            stride=self.stride,
+            dtype=x.dtype,
+        )
+        ctx.emit(op)
+        return x.with_shape(batch, self.out_channels, op.out_h, op.out_w)
+
+
+class Downsample(Module):
+    """Stride-2 conv downsample between UNet stages."""
+
+    def __init__(self, channels: int, name: str | None = None):
+        super().__init__(name=name or "downsample")
+        self.conv = Conv2dLayer(channels, channels, kernel=3, stride=2)
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        return self.conv(ctx, x)
+
+
+class Upsample(Module):
+    """Nearest-neighbour 2x upsample followed by a 3x3 conv."""
+
+    def __init__(self, channels: int, name: str | None = None):
+        super().__init__(name=name or "upsample")
+        self.channels = channels
+        self.conv = Conv2dLayer(channels, channels, kernel=3)
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        batch, channels, h, w = x.shape
+        ctx.emit(
+            Resample(
+                "upsample2x",
+                batch=batch,
+                channels=channels,
+                in_h=h,
+                in_w=w,
+                out_h=2 * h,
+                out_w=2 * w,
+                dtype=x.dtype,
+            )
+        )
+        doubled = x.with_shape(batch, channels, 2 * h, 2 * w)
+        return self.conv(ctx, doubled)
+
+
+class Conv3dLayer(Module):
+    """Full 3D convolution on (B, C, F, H, W)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: tuple[int, int, int] = (3, 3, 3),
+        name: str | None = None,
+    ):
+        super().__init__(name=name or "conv3d")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kt, self.kh, self.kw = kernel
+
+    def own_param_count(self) -> int:
+        return (
+            self.in_channels * self.out_channels * self.kt * self.kh * self.kw
+            + self.out_channels
+        )
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        if x.rank != 5 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (B, {self.in_channels}, F, H, W), "
+                f"got {x.shape}"
+            )
+        batch, _, frames, h, w = x.shape
+        ctx.emit(
+            Conv3d(
+                self.name,
+                batch=batch,
+                in_channels=self.in_channels,
+                out_channels=self.out_channels,
+                frames=frames,
+                h=h,
+                w=w,
+                kt=self.kt,
+                kh=self.kh,
+                kw=self.kw,
+                dtype=x.dtype,
+            )
+        )
+        return x.with_shape(batch, self.out_channels, frames, h, w)
+
+
+class TemporalConv(Module):
+    """Pseudo-3D temporal convolution: (kt, 1, 1) kernel over frames.
+
+    Make-A-Video-style models factorize 3D convs into a spatial 2D conv
+    (applied per frame) plus this temporal 1D conv, which is what keeps
+    their compute tractable (Section II-B).
+    """
+
+    def __init__(self, channels: int, kt: int = 3, name: str | None = None):
+        super().__init__(name=name or "temporal_conv")
+        self.conv = Conv3dLayer(
+            channels, channels, kernel=(kt, 1, 1), name="temporal_conv1d"
+        )
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        return self.conv(ctx, x)

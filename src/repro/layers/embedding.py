@@ -1,0 +1,51 @@
+"""Embedding and conditioning layers."""
+
+from __future__ import annotations
+
+from repro.ir.context import ExecutionContext
+from repro.ir.module import Module
+from repro.ir.ops import Elementwise, Embedding
+from repro.ir.tensor import TensorSpec
+from repro.layers.linear import Linear
+
+
+class TokenEmbedding(Module):
+    """Vocabulary lookup producing (B, N, dim) activations."""
+
+    def __init__(self, vocab: int, dim: int, name: str | None = None):
+        super().__init__(name=name or "token_embedding")
+        self.vocab = vocab
+        self.dim = dim
+
+    def own_param_count(self) -> int:
+        return self.vocab * self.dim
+
+    def forward(
+        self, ctx: ExecutionContext, batch: int, seq: int
+    ) -> TensorSpec:
+        ctx.emit(
+            Embedding(
+                self.name, tokens=batch * seq, dim=self.dim, vocab=self.vocab
+            )
+        )
+        return TensorSpec((batch, seq, self.dim))
+
+
+class TimestepEmbedding(Module):
+    """Sinusoidal timestep embedding + 2-layer MLP (diffusion models)."""
+
+    def __init__(self, model_channels: int, name: str | None = None):
+        super().__init__(name=name or "timestep_embedding")
+        self.model_channels = model_channels
+        self.fc1 = Linear(model_channels, 4 * model_channels)
+        self.fc2 = Linear(4 * model_channels, 4 * model_channels)
+
+    def forward(self, ctx: ExecutionContext, batch: int) -> TensorSpec:
+        sinusoid = TensorSpec((batch, self.model_channels))
+        hidden = self.fc1(ctx, sinusoid)
+        ctx.emit(
+            Elementwise(
+                "silu", numel=hidden.numel, inputs=1, flops_per_element=5.0
+            )
+        )
+        return self.fc2(ctx, hidden)

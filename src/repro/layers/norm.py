@@ -1,0 +1,90 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+from repro.ir.context import ExecutionContext
+from repro.ir.module import Module
+from repro.ir.ops import GroupNorm, LayerNorm
+from repro.ir.tensor import TensorSpec
+
+
+class LayerNormLayer(Module):
+    """LayerNorm over the last dimension of a (..., dim) tensor."""
+
+    def __init__(self, dim: int, name: str | None = None):
+        super().__init__(name=name or "layer_norm")
+        self.dim = dim
+
+    def own_param_count(self) -> int:
+        return 2 * self.dim
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"{self.name}: expected last dim {self.dim}, got {x.shape}"
+            )
+        ctx.emit(
+            LayerNorm(
+                self.name,
+                rows=x.numel // self.dim,
+                cols=self.dim,
+                dtype=x.dtype,
+            )
+        )
+        return x
+
+
+class RMSNormLayer(Module):
+    """RMSNorm (LLaMA): same traffic as LayerNorm, half the parameters."""
+
+    def __init__(self, dim: int, name: str | None = None):
+        super().__init__(name=name or "rms_norm")
+        self.dim = dim
+
+    def own_param_count(self) -> int:
+        return self.dim
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        ctx.emit(
+            LayerNorm(
+                self.name,
+                rows=x.numel // self.dim,
+                cols=self.dim,
+                dtype=x.dtype,
+            )
+        )
+        return x
+
+
+class GroupNormLayer(Module):
+    """GroupNorm over (B, C, ...) activations — the UNet's normalizer.
+
+    The paper singles GroupNorm out as 4-11% of diffusion-model time.
+    """
+
+    def __init__(self, channels: int, groups: int = 32, name: str | None = None):
+        super().__init__(name=name or "group_norm")
+        self.channels = channels
+        self.groups = min(groups, channels)
+
+    def own_param_count(self) -> int:
+        return 2 * self.channels
+
+    def forward(self, ctx: ExecutionContext, x: TensorSpec) -> TensorSpec:
+        if x.rank < 2 or x.shape[1] != self.channels:
+            raise ValueError(
+                f"{self.name}: expected (B, {self.channels}, ...), got {x.shape}"
+            )
+        batch = x.shape[0]
+        spatial = x.numel // (batch * self.channels)
+        ctx.emit(
+            GroupNorm(
+                self.name,
+                batch=batch,
+                channels=self.channels,
+                spatial=spatial,
+                groups=self.groups,
+                dtype=x.dtype,
+            )
+        )
+        return x

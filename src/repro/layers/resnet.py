@@ -1,0 +1,122 @@
+"""ResNet blocks — the convolutional backbone of diffusion UNets.
+
+Figure 3 of the paper shows diffusion models as alternating Resnet and
+Attention blocks; these Resnet blocks are where the Convolution time
+that dominates post-Flash-Attention execution (Section IV-A) comes from.
+"""
+
+from __future__ import annotations
+
+from repro.ir.context import ExecutionContext
+from repro.ir.module import Module
+from repro.ir.ops import Elementwise
+from repro.ir.tensor import TensorSpec
+from repro.layers.conv import Conv2dLayer, TemporalConv
+from repro.layers.linear import Linear
+from repro.layers.norm import GroupNormLayer
+
+
+class ResnetBlock2D(Module):
+    """GN -> SiLU -> 3x3 conv -> (+time emb) -> GN -> SiLU -> 3x3 conv
+    with a residual (1x1-projected when channels change)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        time_embed_dim: int | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(name=name or "resnet_block")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.norm1 = GroupNormLayer(in_channels)
+        self.conv1 = Conv2dLayer(in_channels, out_channels)
+        self.norm2 = GroupNormLayer(out_channels)
+        self.conv2 = Conv2dLayer(out_channels, out_channels)
+        if time_embed_dim:
+            self.time_proj = Linear(time_embed_dim, out_channels)
+        else:
+            self.time_proj = None
+        if in_channels != out_channels:
+            self.skip = Conv2dLayer(
+                in_channels, out_channels, kernel=1, name="skip_conv"
+            )
+        else:
+            self.skip = None
+
+    def forward(
+        self,
+        ctx: ExecutionContext,
+        x: TensorSpec,
+        time_embedding: TensorSpec | None = None,
+    ) -> TensorSpec:
+        batch = x.shape[0]
+        self.norm1(ctx, x)
+        ctx.emit(
+            Elementwise("silu", numel=x.numel, inputs=1, flops_per_element=5.0)
+        )
+        h = self.conv1(ctx, x)
+        if self.time_proj is not None and time_embedding is not None:
+            projected = self.time_proj(ctx, time_embedding)
+            ctx.emit(
+                Elementwise(
+                    "add_time_embedding",
+                    numel=h.numel,
+                    inputs=2,
+                    flops_per_element=1.0,
+                )
+            )
+            del projected
+        self.norm2(ctx, h)
+        ctx.emit(
+            Elementwise("silu", numel=h.numel, inputs=1, flops_per_element=5.0)
+        )
+        h = self.conv2(ctx, h)
+        if self.skip is not None:
+            self.skip(ctx, x)
+        ctx.emit(
+            Elementwise(
+                "residual_add", numel=h.numel, inputs=2, flops_per_element=1.0
+            )
+        )
+        del batch
+        return h
+
+
+class ResnetBlock3D(Module):
+    """Pseudo-3D resnet block: 2D block applied per frame + temporal conv.
+
+    The factorized convolution TTV models use so video does not pay a
+    full 3D-conv FLOP bill (Section II-B).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        time_embed_dim: int | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(name=name or "resnet_block_3d")
+        self.spatial = ResnetBlock2D(
+            in_channels, out_channels, time_embed_dim, name="spatial"
+        )
+        self.temporal = TemporalConv(out_channels)
+
+    def forward(
+        self,
+        ctx: ExecutionContext,
+        x: TensorSpec,
+        time_embedding: TensorSpec | None = None,
+    ) -> TensorSpec:
+        if x.rank != 5:
+            raise ValueError(
+                f"{self.name}: expected (B, C, F, H, W), got {x.shape}"
+            )
+        batch, channels, frames, h, w = x.shape
+        as_frames = x.with_shape(batch * frames, channels, h, w)
+        out = self.spatial(ctx, as_frames, time_embedding)
+        out_channels = out.shape[1]
+        video = out.with_shape(batch, out_channels, frames, h, w)
+        return self.temporal(ctx, video)

@@ -1,0 +1,117 @@
+"""Transformer blocks and stacks (LLMs and transformer-based TTI/TTV).
+
+Figure 3's right-hand panel: Self-Attention, Cross-Attention and
+FeedForward — unchanged from LLMs, differing across models only in layer
+count and width (GPT-3: 96 x 12288, Parti: 80 x 4096, Muse: 48 x 2048).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.context import ExecutionContext
+from repro.ir.module import Module
+from repro.ir.ops import AttentionKind
+from repro.ir.tensor import TensorSpec
+from repro.layers.attention import MultiHeadAttention
+from repro.layers.linear import FeedForward
+from repro.layers.norm import LayerNormLayer, RMSNormLayer
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture of a transformer stack."""
+
+    dim: int
+    num_layers: int
+    num_heads: int
+    ffn_hidden: int | None = None
+    causal: bool = False
+    gated_ffn: bool = False
+    rms_norm: bool = False
+    cross_dim: int | None = None
+
+    def __post_init__(self) -> None:
+        if min(self.dim, self.num_layers, self.num_heads) <= 0:
+            raise ValueError(f"invalid transformer config {self}")
+        if self.dim % self.num_heads:
+            raise ValueError(
+                f"dim {self.dim} not divisible by {self.num_heads} heads"
+            )
+
+
+class TransformerBlock(Module):
+    """Pre-norm block: self-attention, optional cross-attention, FFN."""
+
+    def __init__(self, config: TransformerConfig, name: str | None = None):
+        super().__init__(name=name or "transformer_block")
+        self.config = config
+        norm_cls = RMSNormLayer if config.rms_norm else LayerNormLayer
+        self.norm1 = norm_cls(config.dim)
+        self.self_attn = MultiHeadAttention(
+            config.dim,
+            config.num_heads,
+            causal=config.causal,
+            kind=AttentionKind.TOKEN,
+            name="self_attn",
+        )
+        if config.cross_dim is not None:
+            self.norm_cross = norm_cls(config.dim)
+            self.cross_attn = MultiHeadAttention(
+                config.dim,
+                config.num_heads,
+                kv_dim=config.cross_dim,
+                kind=AttentionKind.TOKEN,
+                name="cross_attn",
+            )
+        else:
+            self.cross_attn = None
+        self.norm2 = norm_cls(config.dim)
+        self.ff = FeedForward(
+            config.dim, hidden_dim=config.ffn_hidden, gated=config.gated_ffn
+        )
+
+    def forward(
+        self,
+        ctx: ExecutionContext,
+        x: TensorSpec,
+        context: TensorSpec | None = None,
+        past_length: int = 0,
+    ) -> TensorSpec:
+        self.norm1(ctx, x)
+        self.self_attn(ctx, x, past_length=past_length)
+        if self.cross_attn is not None and context is not None:
+            self.norm_cross(ctx, x)
+            self.cross_attn(ctx, x, context=context)
+        self.norm2(ctx, x)
+        self.ff(ctx, x)
+        return x
+
+
+class TransformerStack(Module):
+    """``num_layers`` transformer blocks plus a final norm."""
+
+    def __init__(self, config: TransformerConfig, name: str | None = None):
+        super().__init__(name=name or "transformer")
+        self.config = config
+        self.blocks: list[TransformerBlock] = []
+        for index in range(config.num_layers):
+            self.blocks.append(
+                self.add_module(
+                    f"block_{index}", TransformerBlock(config)
+                )
+            )
+        norm_cls = RMSNormLayer if config.rms_norm else LayerNormLayer
+        self.final_norm = norm_cls(config.dim)
+
+    def forward(
+        self,
+        ctx: ExecutionContext,
+        x: TensorSpec,
+        context: TensorSpec | None = None,
+        past_length: int = 0,
+    ) -> TensorSpec:
+        for block in self.blocks:
+            x = block(ctx, x, context=context, past_length=past_length)
+        self.final_norm(ctx, x)
+        return x

@@ -1,0 +1,298 @@
+"""UNet backbones for diffusion models (Figure 3, left panel).
+
+The UNet alternates Resnet and Attention blocks while downsampling and
+upsampling the latent — the structure responsible for both the
+convolution-heavy operator mix of diffusion models (Section IV-A) and
+the cyclic sequence-length profiles of Figure 7.
+
+One configurable class covers the paper's variants:
+
+* Stable-Diffusion-style latent UNets (SpatialTransformer attention with
+  text cross-attention at several levels);
+* Imagen-style pixel UNets and super-resolution UNets (simpler attention
+  blocks, attention only at coarse resolutions, sometimes none at all);
+* TTV UNets (Make-A-Video): pseudo-3D resnet blocks plus temporal
+  attention layers inserted after spatial attention (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.context import ExecutionContext
+from repro.ir.module import Module
+from repro.ir.tensor import TensorSpec
+from repro.layers.attention import (
+    SpatialSelfAttention,
+    SpatialTransformer,
+    TemporalAttentionLayer,
+)
+from repro.layers.conv import Conv2dLayer, Downsample, Upsample
+from repro.layers.embedding import TimestepEmbedding
+from repro.layers.norm import GroupNormLayer
+from repro.layers.resnet import ResnetBlock2D, ResnetBlock3D
+
+
+@dataclass(frozen=True)
+class UNetConfig:
+    """Architecture of a (2D or pseudo-3D) diffusion UNet.
+
+    Attributes:
+        in_channels: latent/pixel channels at the input.
+        model_channels: base channel width (Table I "Embed Dim" analog).
+        channel_mult: per-level width multipliers (Table I "Channel Mult").
+        num_res_blocks: resnet blocks per level (Table I "Num Res Blocks").
+        attention_levels: level indices (0 = full resolution) where
+            spatial attention runs.  Imagen's "Attn Res [32,16,8]" on a
+            64px input corresponds to levels (1, 2, 3).
+        attention_style: ``"transformer"`` (SD: self+cross+FF blocks) or
+            ``"block"`` (Imagen: plain self-attention, optional cross).
+        head_dim: attention head width ("Per-Head Channels").
+        text_dim: text-encoder output width consumed by cross-attention.
+        text_seq: encoded text length.
+        cross_attention_levels: levels with text cross-attention; for the
+            transformer style this defaults to the attention levels.
+        temporal: insert temporal layers (TTV models).
+        temporal_attention_levels: levels where temporal attention runs
+            (may include levels without spatial attention, as TTV models
+            drop spatial attention at high resolution, Section VI-B).
+        transformer_depth: transformer blocks per spatial transformer.
+    """
+
+    in_channels: int = 4
+    model_channels: int = 320
+    channel_mult: tuple[int, ...] = (1, 2, 4, 4)
+    num_res_blocks: int = 2
+    attention_levels: tuple[int, ...] = (0, 1, 2, 3)
+    attention_style: str = "transformer"
+    head_dim: int = 64
+    text_dim: int = 768
+    text_seq: int = 77
+    cross_attention_levels: tuple[int, ...] | None = None
+    temporal: bool = False
+    temporal_attention_levels: tuple[int, ...] = field(default=())
+    transformer_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.attention_style not in ("transformer", "block", "none"):
+            raise ValueError(
+                f"unknown attention style {self.attention_style!r}"
+            )
+        for level in self.attention_levels:
+            if not 0 <= level < len(self.channel_mult):
+                raise ValueError(
+                    f"attention level {level} out of range for "
+                    f"{len(self.channel_mult)} levels"
+                )
+
+    @property
+    def levels(self) -> int:
+        return len(self.channel_mult)
+
+    @property
+    def time_embed_dim(self) -> int:
+        return 4 * self.model_channels
+
+
+class _StageAttention(Module):
+    """The attention stack attached to one resnet block at one level."""
+
+    def __init__(self, config: UNetConfig, level: int, channels: int):
+        super().__init__(name=f"attn_level{level}")
+        self.has_spatial = (
+            config.attention_style != "none"
+            and level in config.attention_levels
+        )
+        cross_levels = (
+            config.cross_attention_levels
+            if config.cross_attention_levels is not None
+            else config.attention_levels
+        )
+        if self.has_spatial:
+            if config.attention_style == "transformer":
+                self.spatial = SpatialTransformer(
+                    channels,
+                    head_dim=config.head_dim,
+                    text_dim=config.text_dim,
+                    text_seq=config.text_seq,
+                    depth=config.transformer_depth,
+                )
+            else:
+                text_dim = (
+                    config.text_dim if level in cross_levels else None
+                )
+                self.spatial = SpatialSelfAttention(
+                    channels,
+                    head_dim=config.head_dim,
+                    text_dim=text_dim,
+                    text_seq=config.text_seq,
+                )
+        self.has_temporal = (
+            config.temporal and level in config.temporal_attention_levels
+        )
+        if self.has_temporal:
+            self.temporal = TemporalAttentionLayer(
+                channels, head_dim=config.head_dim
+            )
+
+    def forward(
+        self, ctx: ExecutionContext, x: TensorSpec, frames: int
+    ) -> TensorSpec:
+        """x: (B*frames, C, H, W); frames=1 for image models."""
+        if self.has_spatial:
+            x = self.spatial(ctx, x)
+        if self.has_temporal:
+            batch_frames, channels, h, w = x.shape
+            batch = batch_frames // frames
+            video = x.with_shape(batch, channels, frames, h, w)
+            self.temporal(ctx, video)
+        return x
+
+
+class UNet(Module):
+    """A diffusion UNet; one forward pass is one denoising step."""
+
+    def __init__(self, config: UNetConfig, name: str | None = None):
+        super().__init__(name=name or "unet")
+        self.config = config
+        ch = config.model_channels
+        self.time_embed = TimestepEmbedding(ch)
+        self.conv_in = Conv2dLayer(config.in_channels, ch, name="conv_in")
+
+        resnet_cls = ResnetBlock3D if config.temporal else ResnetBlock2D
+        self.down_blocks: list[tuple[Module, _StageAttention]] = []
+        self.downsamples: list[Downsample | None] = []
+        in_ch = ch
+        for level, mult in enumerate(config.channel_mult):
+            out_ch = ch * mult
+            for block in range(config.num_res_blocks):
+                resnet = self.add_module(
+                    f"down_{level}_{block}_resnet",
+                    resnet_cls(in_ch, out_ch, config.time_embed_dim),
+                )
+                attention = self.add_module(
+                    f"down_{level}_{block}_attn",
+                    _StageAttention(config, level, out_ch),
+                )
+                self.down_blocks.append((resnet, attention))
+                in_ch = out_ch
+            if level < config.levels - 1:
+                self.downsamples.append(
+                    self.add_module(f"down_{level}_sample", Downsample(out_ch))
+                )
+            else:
+                self.downsamples.append(None)
+
+        mid_ch = ch * config.channel_mult[-1]
+        self.mid_resnet1 = resnet_cls(mid_ch, mid_ch, config.time_embed_dim)
+        self.mid_attention = _StageAttention(
+            config, config.levels - 1, mid_ch
+        )
+        self.mid_resnet2 = resnet_cls(mid_ch, mid_ch, config.time_embed_dim)
+
+        self.up_blocks: list[tuple[Module, _StageAttention, int, int]] = []
+        self.upsamples: list[Upsample | None] = []
+        for level in reversed(range(config.levels)):
+            out_ch = ch * config.channel_mult[level]
+            for block in range(config.num_res_blocks + 1):
+                # Skip connections concatenate the matching down-path
+                # activation, doubling the resnet input channels.
+                merged_ch = in_ch + out_ch
+                resnet = self.add_module(
+                    f"up_{level}_{block}_resnet",
+                    resnet_cls(merged_ch, out_ch, config.time_embed_dim),
+                )
+                attention = self.add_module(
+                    f"up_{level}_{block}_attn",
+                    _StageAttention(config, level, out_ch),
+                )
+                self.up_blocks.append((resnet, attention, merged_ch, out_ch))
+                in_ch = out_ch
+            if level > 0:
+                self.upsamples.append(
+                    self.add_module(f"up_{level}_sample", Upsample(out_ch))
+                )
+            else:
+                self.upsamples.append(None)
+
+        out_ch = ch * config.channel_mult[0]
+        self.out_norm = GroupNormLayer(out_ch)
+        self.conv_out = Conv2dLayer(
+            out_ch, config.in_channels, name="conv_out"
+        )
+
+    def forward(
+        self,
+        ctx: ExecutionContext,
+        latent: TensorSpec,
+        frames: int = 1,
+    ) -> TensorSpec:
+        """latent: (B, in_channels, H, W); for TTV models B folds the
+        frame dimension and ``frames`` declares it."""
+        config = self.config
+        if latent.rank != 4:
+            raise ValueError(f"{self.name}: expected (B, C, H, W) latent")
+        batch = latent.shape[0]
+        time_embedding = self.time_embed(ctx, batch)
+        x = self.conv_in(ctx, latent)
+
+        block_index = 0
+        for level in range(config.levels):
+            for _ in range(config.num_res_blocks):
+                resnet, attention = self.down_blocks[block_index]
+                if config.temporal:
+                    x = self._run_3d(ctx, resnet, x, frames, time_embedding)
+                else:
+                    x = resnet(ctx, x, time_embedding)
+                x = attention(ctx, x, frames)
+                block_index += 1
+            downsample = self.downsamples[level]
+            if downsample is not None:
+                x = downsample(ctx, x)
+
+        if config.temporal:
+            x = self._run_3d(ctx, self.mid_resnet1, x, frames, time_embedding)
+        else:
+            x = self.mid_resnet1(ctx, x, time_embedding)
+        x = self.mid_attention(ctx, x, frames)
+        if config.temporal:
+            x = self._run_3d(ctx, self.mid_resnet2, x, frames, time_embedding)
+        else:
+            x = self.mid_resnet2(ctx, x, time_embedding)
+
+        block_index = 0
+        upsample_index = 0
+        for level in reversed(range(config.levels)):
+            for _ in range(config.num_res_blocks + 1):
+                resnet, attention, merged_ch, _ = self.up_blocks[block_index]
+                merged = x.with_shape(x.shape[0], merged_ch, *x.shape[2:])
+                if config.temporal:
+                    x = self._run_3d(
+                        ctx, resnet, merged, frames, time_embedding
+                    )
+                else:
+                    x = resnet(ctx, merged, time_embedding)
+                x = attention(ctx, x, frames)
+                block_index += 1
+            upsample = self.upsamples[upsample_index]
+            upsample_index += 1
+            if upsample is not None:
+                x = upsample(ctx, x)
+
+        self.out_norm(ctx, x)
+        return self.conv_out(ctx, x)
+
+    @staticmethod
+    def _run_3d(
+        ctx: ExecutionContext,
+        resnet: ResnetBlock3D,
+        x: TensorSpec,
+        frames: int,
+        time_embedding: TensorSpec,
+    ) -> TensorSpec:
+        batch_frames, channels, h, w = x.shape
+        batch = batch_frames // frames
+        video = x.with_shape(batch, channels, frames, h, w)
+        out = resnet(ctx, video, time_embedding)
+        _, out_ch, _, _, _ = out.shape
+        return out.with_shape(batch * frames, out_ch, h, w)

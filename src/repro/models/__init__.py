@@ -1,0 +1,80 @@
+"""The eight-workload model suite (Section III)."""
+
+from repro.models.base import GenerativeModel, ModelArchitecture
+from repro.models.decoders import ConvDecoder
+from repro.models.imagen import Imagen, ImagenConfig
+from repro.models.llama import Llama, LlamaConfig
+from repro.models.make_a_video import MakeAVideo, MakeAVideoConfig
+from repro.models.muse import Muse, MuseConfig
+from repro.models.parti import Parti, PartiConfig
+from repro.models.phenaki import Phenaki, PhenakiConfig
+from repro.models.prod_image import ProdImage, ProdImageConfig
+from repro.models.cards import ModelCard, build_card, suite_cards
+from repro.models.schedulers import (
+    DiffusionSchedule,
+    StepLatencyPoint,
+    cosine_schedule,
+    linear_schedule,
+    steps_latency_tradeoff,
+)
+from repro.models.registry import (
+    DISPLAY_NAMES,
+    MODEL_SUITE,
+    MODEL_VARIANTS,
+    build_model,
+    suite_names,
+    variant_names,
+)
+from repro.models.stable_diffusion import StableDiffusion, StableDiffusionConfig
+from repro.models.text_encoders import (
+    CLIP_TEXT,
+    CLIP_TEXT_LARGE,
+    T5_LARGE,
+    T5_XL,
+    T5_XXL,
+    TextEncoder,
+    TextEncoderConfig,
+)
+
+__all__ = [
+    "CLIP_TEXT",
+    "CLIP_TEXT_LARGE",
+    "ConvDecoder",
+    "ModelCard",
+    "build_card",
+    "suite_cards",
+    "DiffusionSchedule",
+    "StepLatencyPoint",
+    "cosine_schedule",
+    "linear_schedule",
+    "steps_latency_tradeoff",
+    "DISPLAY_NAMES",
+    "GenerativeModel",
+    "Imagen",
+    "ImagenConfig",
+    "Llama",
+    "LlamaConfig",
+    "MODEL_SUITE",
+    "MODEL_VARIANTS",
+    "MakeAVideo",
+    "MakeAVideoConfig",
+    "ModelArchitecture",
+    "Muse",
+    "MuseConfig",
+    "Parti",
+    "PartiConfig",
+    "Phenaki",
+    "PhenakiConfig",
+    "ProdImage",
+    "ProdImageConfig",
+    "StableDiffusion",
+    "StableDiffusionConfig",
+    "T5_LARGE",
+    "T5_XL",
+    "T5_XXL",
+    "TextEncoder",
+    "TextEncoderConfig",
+    "build_model",
+    "suite_names",
+    "variant_names",
+]

@@ -1,0 +1,68 @@
+"""Model-suite base class and taxonomy labels."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.ir.context import ExecutionContext
+from repro.ir.module import Module
+
+
+class ModelArchitecture(enum.Enum):
+    """The paper's taxonomy (Section II / Figure 2)."""
+
+    LLM = "llm"
+    DIFFUSION_PIXEL = "diffusion-pixel"
+    DIFFUSION_LATENT = "diffusion-latent"
+    TRANSFORMER_TTI = "transformer-tti"
+    TTV_DIFFUSION = "ttv-diffusion"
+    TTV_TRANSFORMER = "ttv-transformer"
+
+    @property
+    def is_diffusion(self) -> bool:
+        return self in (
+            ModelArchitecture.DIFFUSION_PIXEL,
+            ModelArchitecture.DIFFUSION_LATENT,
+            ModelArchitecture.TTV_DIFFUSION,
+        )
+
+    @property
+    def is_transformer_generator(self) -> bool:
+        return self in (
+            ModelArchitecture.TRANSFORMER_TTI,
+            ModelArchitecture.TTV_TRANSFORMER,
+        )
+
+    @property
+    def is_video(self) -> bool:
+        return self in (
+            ModelArchitecture.TTV_DIFFUSION,
+            ModelArchitecture.TTV_TRANSFORMER,
+        )
+
+
+class GenerativeModel(Module):
+    """A complete inference pipeline from the model suite.
+
+    Subclasses set :attr:`architecture` and implement
+    :meth:`run_inference`, which emits the *entire* forward pipeline of
+    Figure 2 — text encoding, the generator (denoising loop or token
+    decoding), and pixel decoding — into the execution context.
+    """
+
+    architecture: ModelArchitecture
+
+    def run_inference(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        """Emit one complete inference of the pipeline into ``ctx``."""
+        raise NotImplementedError
+
+    def forward(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        self.run_inference(ctx, batch=batch)
+
+    def describe(self) -> dict[str, object]:
+        """Taxonomy row for this model (Table I analog)."""
+        return {
+            "name": self.name,
+            "architecture": self.architecture.value,
+            "parameters": self.param_count(),
+        }

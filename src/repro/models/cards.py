@@ -1,0 +1,112 @@
+"""Model cards: auto-generated documentation for the suite.
+
+One markdown card per model — architecture class, pipeline components,
+parameters, profiled behaviour — produced from the same objects the
+experiments use, so the documentation cannot drift from the code.
+``tools/gen_models_md.py`` writes docs/MODELS.md from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.ops import OpCategory
+from repro.ir.trace import Trace
+from repro.models.base import GenerativeModel
+from repro.profiler.breakdown import breakdown
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """Structured facts about one suite model."""
+
+    name: str
+    display_name: str
+    architecture: str
+    parameters: int
+    components: tuple[tuple[str, int], ...]
+    baseline_time_s: float
+    flash_time_s: float
+    dominant_op_flash: str
+    attention_calls: int
+    max_seq_len: int
+
+    @property
+    def flash_speedup(self) -> float:
+        return self.baseline_time_s / self.flash_time_s
+
+    def to_markdown(self) -> str:
+        """Render the card as a markdown section."""
+        lines = [
+            f"## {self.display_name} (`{self.name}`)",
+            "",
+            f"*{self.architecture}* — "
+            f"{self.parameters/1e9:.2f}B parameters.",
+            "",
+            "| component | parameters |",
+            "|---|---|",
+        ]
+        for component, params in self.components:
+            lines.append(f"| `{component}` | {params/1e6:,.1f}M |")
+        lines += [
+            "",
+            f"Simulated A100 inference: "
+            f"{self.baseline_time_s:.2f} s baseline, "
+            f"{self.flash_time_s:.2f} s with Flash Attention "
+            f"({self.flash_speedup:.2f}x). "
+            f"Dominant operator after Flash: "
+            f"**{self.dominant_op_flash}**. "
+            f"{self.attention_calls} attention calls per inference, "
+            f"peak sequence length {self.max_seq_len}.",
+            "",
+        ]
+        return "\n".join(lines)
+
+
+def build_card(
+    name: str,
+    display_name: str,
+    model: GenerativeModel,
+    baseline_trace: Trace,
+    flash_trace: Trace,
+) -> ModelCard:
+    """Assemble a card from a model and its two profiles."""
+    from repro.profiler.seqlen import sequence_length_distribution
+
+    flash_breakdown = breakdown(flash_trace)
+    distribution = sequence_length_distribution(baseline_trace)
+    dominant: OpCategory = flash_breakdown.dominant_category()
+    return ModelCard(
+        name=name,
+        display_name=display_name,
+        architecture=model.architecture.value,
+        parameters=model.param_count(),
+        components=tuple(
+            (key, child.param_count())
+            for key, child in model.named_children()
+        ),
+        baseline_time_s=baseline_trace.total_time_s,
+        flash_time_s=flash_trace.total_time_s,
+        dominant_op_flash=dominant.value,
+        attention_calls=len(baseline_trace.attention_anchors()),
+        max_seq_len=distribution.max_length,
+    )
+
+
+def suite_cards() -> list[ModelCard]:
+    """Cards for the whole suite (uses the cached profiles)."""
+    from repro.experiments.suite_cache import all_profiles, model_instance
+    from repro.models.registry import DISPLAY_NAMES
+
+    cards = []
+    for name, (baseline, flash) in all_profiles().items():
+        cards.append(
+            build_card(
+                name,
+                DISPLAY_NAMES[name],
+                model_instance(name),
+                baseline.trace,
+                flash.trace,
+            )
+        )
+    return cards

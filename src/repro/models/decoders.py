@@ -1,0 +1,89 @@
+"""Image decoders: latent -> pixel back-ends.
+
+Latent diffusion models pay for their cheap denoising loop with a
+VAE/VQGAN decoder that upsamples the latent back to pixel space
+(Section II-A); transformer TTI models decode their token grid through
+a VQGAN.  Both are convolutional upsampling stacks, so they contribute
+to the Convolution share of the Figure 6 breakdowns.
+"""
+
+from __future__ import annotations
+
+from repro.ir.context import ExecutionContext
+from repro.ir.module import Module
+from repro.ir.ops import Elementwise
+from repro.ir.tensor import TensorSpec
+from repro.layers.conv import Conv2dLayer, Upsample
+from repro.layers.norm import GroupNormLayer
+from repro.layers.resnet import ResnetBlock2D
+
+
+class ConvDecoder(Module):
+    """Generic convolutional decoder: latent grid -> full-res image.
+
+    Each upsampling stage doubles resolution; ``channel_schedule`` gives
+    the width at each stage from deepest (latent) to shallowest (pixel).
+    Covers both the SD VAE decoder and VQGAN decoders.
+    """
+
+    def __init__(
+        self,
+        latent_channels: int,
+        channel_schedule: tuple[int, ...] = (512, 512, 256, 128),
+        blocks_per_stage: int = 2,
+        out_channels: int = 3,
+        name: str | None = None,
+    ):
+        super().__init__(name=name or "conv_decoder")
+        if not channel_schedule:
+            raise ValueError("channel schedule must be non-empty")
+        self.latent_channels = latent_channels
+        self.channel_schedule = channel_schedule
+        self.blocks_per_stage = blocks_per_stage
+        self.conv_in = Conv2dLayer(
+            latent_channels, channel_schedule[0], name="conv_in"
+        )
+        self.stages: list[tuple[list[ResnetBlock2D], Upsample | None]] = []
+        in_ch = channel_schedule[0]
+        for stage, out_ch in enumerate(channel_schedule):
+            blocks = []
+            for index in range(blocks_per_stage):
+                blocks.append(
+                    self.add_module(
+                        f"stage{stage}_block{index}",
+                        ResnetBlock2D(in_ch, out_ch),
+                    )
+                )
+                in_ch = out_ch
+            upsample = None
+            if stage < len(channel_schedule) - 1:
+                upsample = self.add_module(
+                    f"stage{stage}_upsample", Upsample(out_ch)
+                )
+            self.stages.append((blocks, upsample))
+        self.out_norm = GroupNormLayer(channel_schedule[-1])
+        self.conv_out = Conv2dLayer(
+            channel_schedule[-1], out_channels, name="conv_out"
+        )
+
+    @property
+    def upsample_factor(self) -> int:
+        return 2 ** (len(self.channel_schedule) - 1)
+
+    def forward(self, ctx: ExecutionContext, latent: TensorSpec) -> TensorSpec:
+        if latent.rank != 4 or latent.shape[1] != self.latent_channels:
+            raise ValueError(
+                f"{self.name}: expected (B, {self.latent_channels}, H, W), "
+                f"got {latent.shape}"
+            )
+        x = self.conv_in(ctx, latent)
+        for blocks, upsample in self.stages:
+            for block in blocks:
+                x = block(ctx, x)
+            if upsample is not None:
+                x = upsample(ctx, x)
+        self.out_norm(ctx, x)
+        ctx.emit(
+            Elementwise("silu", numel=x.numel, inputs=1, flops_per_element=5.0)
+        )
+        return self.conv_out(ctx, x)

@@ -1,0 +1,102 @@
+"""Imagen: the pixel-space diffusion representative of the suite.
+
+Pipeline (Figure 2, top row): frozen T5 text encoder -> 64x64 base
+diffusion UNet -> two super-resolution diffusion UNets upsampling to
+mid- and full resolution.  Because the denoising happens in pixel space,
+the SR networks are themselves UNets that mostly *drop attention* at
+high resolution (memory-prohibitive, Section V-B) and replace it with
+convolution — which is why pixel-based models spend ~15% more time in
+Convolution than latent-based ones (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.context import ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.layers.unet import UNet, UNetConfig
+from repro.models.base import GenerativeModel, ModelArchitecture
+from repro.models.text_encoders import T5_XL, TextEncoder, TextEncoderConfig
+
+
+@dataclass(frozen=True)
+class ImagenConfig:
+    """Imagen-style cascade: 64 -> 256 -> 1024."""
+
+    base_size: int = 64
+    sr1_size: int = 256
+    sr2_size: int = 1024
+    base_steps: int = 64
+    sr1_steps: int = 8
+    sr2_steps: int = 4
+    text_encoder: TextEncoderConfig = T5_XL
+    text_seq: int = 128
+    base_unet: UNetConfig = UNetConfig(
+        in_channels=3,
+        model_channels=448,
+        channel_mult=(1, 2, 3, 4),
+        num_res_blocks=3,
+        attention_levels=(1, 2, 3),  # attn res [32, 16, 8] on a 64px input
+        attention_style="transformer",
+        head_dim=32,
+        text_dim=2048,
+        text_seq=128,
+        transformer_depth=3,
+    )
+    sr1_unet: UNetConfig = UNetConfig(
+        in_channels=3,
+        model_channels=128,
+        channel_mult=(1, 2, 4, 8),
+        num_res_blocks=2,
+        attention_levels=(3,),  # cross-attention only at the bottleneck
+        attention_style="block",
+        head_dim=64,
+        text_dim=2048,
+        text_seq=128,
+    )
+    sr2_unet: UNetConfig = UNetConfig(
+        in_channels=3,
+        model_channels=64,
+        channel_mult=(1, 2, 4, 8),
+        num_res_blocks=2,
+        attention_levels=(),  # no attention at all at 1024px
+        attention_style="none",
+        head_dim=64,
+        text_dim=2048,
+        text_seq=128,
+    )
+
+
+class Imagen(GenerativeModel):
+    """T5 encoder + pixel-space base UNet + two SR UNets."""
+
+    architecture = ModelArchitecture.DIFFUSION_PIXEL
+
+    def __init__(self, config: ImagenConfig = ImagenConfig()):
+        super().__init__(name="imagen")
+        self.config = config
+        self.text_encoder = TextEncoder(
+            config.text_encoder, name="t5_encoder"
+        )
+        self.base_unet = UNet(config.base_unet, name="base_unet")
+        self.sr1_unet = UNet(config.sr1_unet, name="sr1_unet")
+        self.sr2_unet = UNet(config.sr2_unet, name="sr2_unet")
+
+    def run_inference(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        """Emit one complete inference of the pipeline into ``ctx``."""
+        config = self.config
+        self.text_encoder(ctx, batch, seq=config.text_seq)
+        stages = (
+            (self.base_unet, config.base_size, config.base_steps),
+            (self.sr1_unet, config.sr1_size, config.sr1_steps),
+            (self.sr2_unet, config.sr2_size, config.sr2_steps),
+        )
+        for unet, size, steps in stages:
+            latent = TensorSpec(
+                (batch, unet.config.in_channels, size, size)
+            )
+            with ctx.named_scope(f"stage_{size}px"):
+                for step in range(steps):
+                    with ctx.named_scope(f"denoise_{step}"):
+                        unet(ctx, latent)

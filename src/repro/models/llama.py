@@ -1,0 +1,97 @@
+"""LLaMA-2: the text-generation baseline of the model suite.
+
+The paper contrasts every TTI/TTV model against LLaMA-2 (Section III).
+Inference has the two canonical phases of Table III: *prefill* (the
+whole prompt processed at once — large matrices, Flash-Attention
+friendly) and *decode* (one token at a time against a growing KV cache —
+skinny matrices, little Flash benefit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.context import ExecutionContext
+from repro.ir.ops import Gemm
+from repro.ir.tensor import TensorSpec
+from repro.layers.embedding import TokenEmbedding
+from repro.layers.transformer import TransformerConfig, TransformerStack
+from repro.models.base import GenerativeModel, ModelArchitecture
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """LLaMA-2-7B by default."""
+
+    dim: int = 4096
+    num_layers: int = 32
+    num_heads: int = 32
+    ffn_hidden: int = 11008
+    vocab: int = 32000
+    prompt_tokens: int = 8192
+    decode_tokens: int = 64
+    decode_bucket: int = 16
+    """Decode steps are grouped into buckets of this size; each bucket is
+    emitted once at its midpoint KV length and repeated (trace-size
+    control, totals unchanged to first order)."""
+
+
+class Llama(GenerativeModel):
+    """LLaMA-2 decoder-only LLM (prefill + autoregressive decode)."""
+
+    architecture = ModelArchitecture.LLM
+
+    def __init__(self, config: LlamaConfig = LlamaConfig()):
+        super().__init__(name="llama")
+        self.config = config
+        self.embedding = TokenEmbedding(config.vocab, config.dim)
+        self.stack = TransformerStack(
+            TransformerConfig(
+                dim=config.dim,
+                num_layers=config.num_layers,
+                num_heads=config.num_heads,
+                ffn_hidden=config.ffn_hidden,
+                causal=True,
+                gated_ffn=True,
+                rms_norm=True,
+            )
+        )
+
+    def _lm_head(self, ctx: ExecutionContext, batch: int, seq: int) -> None:
+        config = self.config
+        ctx.emit(
+            Gemm(
+                "lm_head",
+                m=batch * seq,
+                n=config.vocab,
+                k=config.dim,
+                b_is_weight=True,
+            )
+        )
+
+    def prefill(self, ctx: ExecutionContext, batch: int = 1) -> TensorSpec:
+        """Process the prompt in one pass (Table III: 'training/prefill')."""
+        config = self.config
+        with ctx.named_scope("prefill"):
+            tokens = self.embedding(ctx, batch, config.prompt_tokens)
+            hidden = self.stack(ctx, tokens)
+            self._lm_head(ctx, batch, 1)
+        return hidden
+
+    def decode(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        """Generate ``decode_tokens`` autoregressively with a KV cache."""
+        config = self.config
+        token = TensorSpec((batch, 1, config.dim))
+        bucket = max(1, config.decode_bucket)
+        with ctx.named_scope("decode"):
+            for start in range(0, config.decode_tokens, bucket):
+                steps = min(bucket, config.decode_tokens - start)
+                midpoint = config.prompt_tokens + start + steps // 2
+                with ctx.repeat_scope(steps):
+                    self.stack(ctx, token, past_length=midpoint)
+                    self._lm_head(ctx, batch, 1)
+
+    def run_inference(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        """Emit one complete inference of the pipeline into ``ctx``."""
+        self.prefill(ctx, batch=batch)
+        self.decode(ctx, batch=batch)

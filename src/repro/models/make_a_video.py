@@ -1,0 +1,160 @@
+"""Make-A-Video: the diffusion-based text-to-video representative.
+
+Make-A-Video extends a pixel-diffusion TTI backbone to video
+(Section II-B / VI): a spatiotemporal decoder UNet generates 16 key
+frames at 64x64, a frame-interpolation network fills in to 76 frames,
+and two super-resolution stages lift the result to 256px (still
+spatiotemporal) and 768px (per-frame spatial only — temporal layers and
+attention are dropped at high resolution because the memory cost is
+prohibitive).  Temporal attention layers sit after spatial attention
+layers throughout the spatiotemporal UNets; they are the subject of the
+paper's Figure 11/12 case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.context import ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.layers.transformer import TransformerConfig, TransformerStack
+from repro.layers.unet import UNet, UNetConfig
+from repro.models.base import GenerativeModel, ModelArchitecture
+from repro.models.text_encoders import CLIP_TEXT_LARGE, TextEncoder
+
+
+@dataclass(frozen=True)
+class MakeAVideoConfig:
+    """Make-A-Video-style cascade: 16 x 64px -> 76 x 256px -> 76 x 768px."""
+
+    key_frames: int = 16
+    interpolated_frames: int = 76
+    base_size: int = 64
+    sr1_size: int = 256
+    sr2_size: int = 768
+    prior_steps: int = 16
+    base_steps: int = 50
+    interpolation_steps: int = 8
+    sr1_steps: int = 8
+    sr2_steps: int = 4
+    decoder_unet: UNetConfig = UNetConfig(
+        in_channels=3,
+        model_channels=384,
+        channel_mult=(1, 2, 3, 4),
+        num_res_blocks=2,
+        attention_levels=(1, 2, 3),  # spatial attn at 32/16/8 grids
+        attention_style="block",
+        head_dim=128,
+        text_dim=1024,
+        text_seq=77,
+        temporal=True,
+        temporal_attention_levels=(0, 1, 2, 3),
+    )
+    interpolation_unet: UNetConfig = UNetConfig(
+        in_channels=3,
+        model_channels=256,
+        channel_mult=(1, 2, 3, 4),
+        num_res_blocks=2,
+        attention_levels=(1, 2, 3),
+        attention_style="block",
+        head_dim=128,
+        text_dim=1024,
+        text_seq=77,
+        temporal=True,
+        temporal_attention_levels=(0, 1, 2, 3),
+    )
+    sr1_unet: UNetConfig = UNetConfig(
+        in_channels=3,
+        model_channels=128,
+        channel_mult=(1, 2, 4, 8),
+        num_res_blocks=2,
+        attention_levels=(),  # spatial attention dropped at 256px
+        attention_style="none",
+        head_dim=64,
+        text_dim=1024,
+        text_seq=77,
+        temporal=True,
+        # Temporal *convolution* only: at 256px even frame attention is
+        # dropped for memory reasons (Section VI-B).
+        temporal_attention_levels=(),
+    )
+    sr2_unet: UNetConfig = UNetConfig(
+        in_channels=3,
+        model_channels=64,
+        channel_mult=(1, 2, 4, 8),
+        num_res_blocks=2,
+        attention_levels=(),
+        attention_style="none",
+        head_dim=64,
+        text_dim=1024,
+        text_seq=77,
+        temporal=False,  # 768px stage is per-frame spatial only
+    )
+
+
+class MakeAVideo(GenerativeModel):
+    """CLIP encoder + prior + spatiotemporal decoder/interp/SR cascade."""
+
+    architecture = ModelArchitecture.TTV_DIFFUSION
+
+    def __init__(self, config: MakeAVideoConfig = MakeAVideoConfig()):
+        super().__init__(name="make_a_video")
+        self.config = config
+        self.text_encoder = TextEncoder(
+            CLIP_TEXT_LARGE, name="clip_text_encoder"
+        )
+        # Diffusion prior mapping text embedding -> image embedding.
+        self.prior = TransformerStack(
+            TransformerConfig(dim=1024, num_layers=12, num_heads=16),
+            name="prior",
+        )
+        self.decoder_unet = UNet(config.decoder_unet, name="decoder_unet")
+        self.interpolation_unet = UNet(
+            config.interpolation_unet, name="interpolation_unet"
+        )
+        self.sr1_unet = UNet(config.sr1_unet, name="sr1_unet")
+        self.sr2_unet = UNet(config.sr2_unet, name="sr2_unet")
+
+    def _run_stage(
+        self,
+        ctx: ExecutionContext,
+        unet: UNet,
+        batch: int,
+        frames: int,
+        size: int,
+        steps: int,
+        label: str,
+    ) -> None:
+        latent = TensorSpec(
+            (batch * frames, unet.config.in_channels, size, size)
+        )
+        with ctx.named_scope(label):
+            for step in range(steps):
+                with ctx.named_scope(f"denoise_{step}"):
+                    unet(ctx, latent, frames=frames)
+
+    def run_inference(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        """Emit one complete inference of the pipeline into ``ctx``."""
+        config = self.config
+        text = self.text_encoder(ctx, batch)
+        prior_tokens = TensorSpec((batch, 77, 1024))
+        for step in range(config.prior_steps):
+            with ctx.named_scope(f"prior_step_{step}"):
+                self.prior(ctx, prior_tokens)
+        del text
+        self._run_stage(
+            ctx, self.decoder_unet, batch, config.key_frames,
+            config.base_size, config.base_steps, "decoder",
+        )
+        self._run_stage(
+            ctx, self.interpolation_unet, batch, config.interpolated_frames,
+            config.base_size, config.interpolation_steps, "interpolation",
+        )
+        self._run_stage(
+            ctx, self.sr1_unet, batch, config.interpolated_frames,
+            config.sr1_size, config.sr1_steps, "sr1",
+        )
+        self._run_stage(
+            ctx, self.sr2_unet, batch, config.interpolated_frames,
+            config.sr2_size, config.sr2_steps, "sr2",
+        )

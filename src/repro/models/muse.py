@@ -1,0 +1,115 @@
+"""Muse: the parallel-decoding transformer TTI representative.
+
+Muse is a decoder-only masked transformer (48 layers, model dim 2048 —
+Table I) that predicts all image tokens of a 16x16 grid in a fixed
+number of parallel refinement steps instead of autoregressively; a
+second, smaller transformer refines a 64x64 super-resolution token
+grid, and a VQGAN decoder maps tokens to pixels.  Its constant sequence
+length per step is the flat line of Figure 7, and its modest matrix
+sizes are why it sees the smallest Flash-Attention benefit of the TTI
+models (Table II: 1.11x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.context import ExecutionContext
+from repro.ir.ops import Gemm
+from repro.ir.tensor import TensorSpec
+from repro.layers.embedding import TokenEmbedding
+from repro.layers.transformer import TransformerConfig, TransformerStack
+from repro.models.base import GenerativeModel, ModelArchitecture
+from repro.models.decoders import ConvDecoder
+from repro.models.text_encoders import T5_XL, TextEncoder, TextEncoderConfig
+
+
+@dataclass(frozen=True)
+class MuseConfig:
+    """Muse-3B-style configuration."""
+
+    dim: int = 2048
+    num_layers: int = 48
+    num_heads: int = 8
+    base_grid: int = 16
+    base_steps: int = 24
+    sr_dim: int = 1024
+    sr_layers: int = 16
+    sr_heads: int = 8
+    sr_grid: int = 64
+    sr_steps: int = 8
+    vocab: int = 8192
+    text_encoder: TextEncoderConfig = T5_XL
+    text_seq: int = 128
+
+    @property
+    def base_tokens(self) -> int:
+        return self.base_grid * self.base_grid
+
+    @property
+    def sr_tokens(self) -> int:
+        return self.sr_grid * self.sr_grid
+
+
+class Muse(GenerativeModel):
+    """T5 encoder + masked parallel-decode transformers + VQGAN decoder."""
+
+    architecture = ModelArchitecture.TRANSFORMER_TTI
+
+    def __init__(self, config: MuseConfig = MuseConfig()):
+        super().__init__(name="muse")
+        self.config = config
+        self.text_encoder = TextEncoder(config.text_encoder, name="t5_encoder")
+        self.token_embedding = TokenEmbedding(config.vocab, config.dim)
+        self.base_transformer = TransformerStack(
+            TransformerConfig(
+                dim=config.dim,
+                num_layers=config.num_layers,
+                num_heads=config.num_heads,
+                cross_dim=config.text_encoder.dim,
+            ),
+            name="base_transformer",
+        )
+        self.sr_token_embedding = TokenEmbedding(config.vocab, config.sr_dim)
+        self.sr_transformer = TransformerStack(
+            TransformerConfig(
+                dim=config.sr_dim,
+                num_layers=config.sr_layers,
+                num_heads=config.sr_heads,
+                cross_dim=config.text_encoder.dim,
+            ),
+            name="sr_transformer",
+        )
+        self.vqgan_decoder = ConvDecoder(
+            latent_channels=256,
+            channel_schedule=(256, 256, 128, 128, 64),
+            name="vqgan_decoder",
+        )
+
+    def _logits(
+        self, ctx: ExecutionContext, rows: int, dim: int
+    ) -> None:
+        ctx.emit(
+            Gemm("to_logits", m=rows, n=self.config.vocab, k=dim,
+                 b_is_weight=True)
+        )
+
+    def run_inference(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        """Emit one complete inference of the pipeline into ``ctx``."""
+        config = self.config
+        text = self.text_encoder(ctx, batch, seq=config.text_seq)
+        # Base grid: every refinement step re-processes the full token
+        # grid (parallel decoding) — constant sequence length.
+        tokens = self.token_embedding(ctx, batch, config.base_tokens)
+        for step in range(config.base_steps):
+            with ctx.named_scope(f"base_step_{step}"):
+                self.base_transformer(ctx, tokens, context=text)
+                self._logits(ctx, batch * config.base_tokens, config.dim)
+        sr_tokens = self.sr_token_embedding(ctx, batch, config.sr_tokens)
+        for step in range(config.sr_steps):
+            with ctx.named_scope(f"sr_step_{step}"):
+                self.sr_transformer(ctx, sr_tokens, context=text)
+                self._logits(ctx, batch * config.sr_tokens, config.sr_dim)
+        latent = TensorSpec((batch, 256, config.sr_grid, config.sr_grid))
+        self.vqgan_decoder(ctx, latent)
+        del tokens

@@ -1,0 +1,122 @@
+"""Parti: the autoregressive transformer TTI representative.
+
+Parti is an encoder-decoder transformer (80 layers, model dim 4096, 20B
+parameters — Table I) that predicts the 32x32 = 1024 image-token grid
+one token at a time, conditioned on the encoded prompt.  The decode
+loop is exactly the LLM Decode phase of Table III: skinny 1xN queries
+against a growing KV cache, which is why its per-call sequence length
+ramps linearly in Figure 7 and why Flash Attention helps it less than
+diffusion models (Table II: 1.17x).  A ViT-VQGAN decoder renders the
+tokens to pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.context import ExecutionContext
+from repro.ir.ops import Gemm
+from repro.ir.tensor import TensorSpec
+from repro.layers.embedding import TokenEmbedding
+from repro.layers.transformer import TransformerConfig, TransformerStack
+from repro.models.base import GenerativeModel, ModelArchitecture
+from repro.models.decoders import ConvDecoder
+
+
+@dataclass(frozen=True)
+class PartiConfig:
+    """Parti-20B-style configuration (Table I column)."""
+
+    dim: int = 4096
+    encoder_layers: int = 32
+    decoder_layers: int = 48
+    num_heads: int = 64
+    ffn_hidden: int = 16384
+    image_grid: int = 32
+    vocab: int = 8192
+    text_vocab: int = 32000
+    text_seq: int = 128
+    decode_bucket: int = 32
+    use_kv_cache: bool = False
+    """Research inference code (the paper profiles public
+    implementations) typically re-runs the transformer over the whole
+    generated prefix each step instead of caching K/V — which is also
+    what Figure 7's per-call sequence-length ramp shows.  Set True for a
+    serving-style KV-cached decode."""
+
+    @property
+    def image_tokens(self) -> int:
+        return self.image_grid * self.image_grid
+
+
+class Parti(GenerativeModel):
+    """Encoder-decoder transformer with autoregressive image decoding."""
+
+    architecture = ModelArchitecture.TRANSFORMER_TTI
+
+    def __init__(self, config: PartiConfig = PartiConfig()):
+        super().__init__(name="parti")
+        self.config = config
+        self.text_embedding = TokenEmbedding(config.text_vocab, config.dim)
+        self.encoder = TransformerStack(
+            TransformerConfig(
+                dim=config.dim,
+                num_layers=config.encoder_layers,
+                num_heads=config.num_heads,
+                ffn_hidden=config.ffn_hidden,
+            ),
+            name="encoder",
+        )
+        self.image_embedding = TokenEmbedding(config.vocab, config.dim)
+        self.decoder = TransformerStack(
+            TransformerConfig(
+                dim=config.dim,
+                num_layers=config.decoder_layers,
+                num_heads=config.num_heads,
+                ffn_hidden=config.ffn_hidden,
+                causal=True,
+                cross_dim=config.dim,
+            ),
+            name="decoder",
+        )
+        self.vqgan_decoder = ConvDecoder(
+            latent_channels=256,
+            channel_schedule=(512, 256, 256, 128),
+            name="vit_vqgan_decoder",
+        )
+
+    def run_inference(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        """Emit one complete inference of the pipeline into ``ctx``."""
+        config = self.config
+        prompt = self.text_embedding(ctx, batch, config.text_seq)
+        text = self.encoder(ctx, prompt)
+        token = TensorSpec((batch, 1, config.dim))
+        bucket = max(1, config.decode_bucket)
+        with ctx.named_scope("autoregressive_decode"):
+            for start in range(0, config.image_tokens, bucket):
+                steps = min(bucket, config.image_tokens - start)
+                midpoint = start + steps // 2
+                with ctx.repeat_scope(steps):
+                    if config.use_kv_cache:
+                        self.image_embedding(ctx, batch, 1)
+                        self.decoder(
+                            ctx, token, context=text, past_length=midpoint
+                        )
+                    else:
+                        # Full-prefix recompute: every step reprocesses
+                        # the generated sequence so far.
+                        prefix_len = max(1, midpoint)
+                        self.image_embedding(ctx, batch, prefix_len)
+                        prefix = TensorSpec((batch, prefix_len, config.dim))
+                        self.decoder(ctx, prefix, context=text)
+                    ctx.emit(
+                        Gemm(
+                            "to_logits",
+                            m=batch,
+                            n=config.vocab,
+                            k=config.dim,
+                            b_is_weight=True,
+                        )
+                    )
+        latent = TensorSpec((batch, 256, config.image_grid, config.image_grid))
+        self.vqgan_decoder(ctx, latent)

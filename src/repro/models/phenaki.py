@@ -1,0 +1,104 @@
+"""Phenaki: the transformer-based text-to-video representative.
+
+Phenaki compresses video into discrete spatio-temporal tokens with a
+C-ViViT encoder-decoder and generates those tokens with a masked
+bidirectional transformer conditioned on text (Section II-B).  From a
+systems view it behaves like a transformer TTI model whose token grid
+includes a temporal axis: parallel refinement over a ~1.5k-token
+sequence, then a convolution+transformer detokenizer back to frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.context import ExecutionContext
+from repro.ir.ops import Gemm
+from repro.ir.tensor import TensorSpec
+from repro.layers.embedding import TokenEmbedding
+from repro.layers.transformer import TransformerConfig, TransformerStack
+from repro.models.base import GenerativeModel, ModelArchitecture
+from repro.models.decoders import ConvDecoder
+from repro.models.text_encoders import T5_XL, TextEncoder, TextEncoderConfig
+
+
+@dataclass(frozen=True)
+class PhenakiConfig:
+    """Phenaki-style configuration: 11 frames at 128px."""
+
+    frames: int = 11
+    frame_size: int = 128
+    patch_grid: int = 16  # 16x16 spatial tokens per frame
+    dim: int = 2048
+    num_layers: int = 24
+    num_heads: int = 8
+    refine_steps: int = 24
+    vocab: int = 8192
+    text_encoder: TextEncoderConfig = T5_XL
+    text_seq: int = 128
+    detokenizer_layers: int = 8
+
+    @property
+    def video_tokens(self) -> int:
+        # C-ViViT tokenizes the first frame fully and subsequent frames
+        # in temporal groups of 2.
+        spatial = self.patch_grid * self.patch_grid
+        temporal_slots = 1 + (self.frames - 1) // 2
+        return spatial * temporal_slots
+
+
+class Phenaki(GenerativeModel):
+    """T5 encoder + masked video-token transformer + C-ViViT decoder."""
+
+    architecture = ModelArchitecture.TTV_TRANSFORMER
+
+    def __init__(self, config: PhenakiConfig = PhenakiConfig()):
+        super().__init__(name="phenaki")
+        self.config = config
+        self.text_encoder = TextEncoder(config.text_encoder, name="t5_encoder")
+        self.token_embedding = TokenEmbedding(config.vocab, config.dim)
+        self.transformer = TransformerStack(
+            TransformerConfig(
+                dim=config.dim,
+                num_layers=config.num_layers,
+                num_heads=config.num_heads,
+                cross_dim=config.text_encoder.dim,
+            ),
+            name="maskgit_transformer",
+        )
+        # C-ViViT decoder: a small transformer over tokens, then a conv
+        # decoder applied per frame.
+        self.detokenizer_transformer = TransformerStack(
+            TransformerConfig(
+                dim=512, num_layers=config.detokenizer_layers, num_heads=8
+            ),
+            name="cvivit_decoder_transformer",
+        )
+        self.detokenizer_conv = ConvDecoder(
+            latent_channels=512,
+            channel_schedule=(256, 128, 64),
+            name="cvivit_decoder_conv",
+        )
+
+    def run_inference(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        """Emit one complete inference of the pipeline into ``ctx``."""
+        config = self.config
+        text = self.text_encoder(ctx, batch, seq=config.text_seq)
+        tokens = self.token_embedding(ctx, batch, config.video_tokens)
+        for step in range(config.refine_steps):
+            with ctx.named_scope(f"refine_step_{step}"):
+                self.transformer(ctx, tokens, context=text)
+                ctx.emit(
+                    Gemm(
+                        "to_logits",
+                        m=batch * config.video_tokens,
+                        n=config.vocab,
+                        k=config.dim,
+                        b_is_weight=True,
+                    )
+                )
+        decoder_tokens = TensorSpec((batch, config.video_tokens, 512))
+        self.detokenizer_transformer(ctx, decoder_tokens)
+        grid = config.patch_grid
+        frame_latents = TensorSpec((batch * config.frames, 512, grid, grid))
+        self.detokenizer_conv(ctx, frame_latents)

@@ -1,0 +1,85 @@
+"""Production TTI model: the deployment-tuned latent-diffusion stand-in.
+
+The paper augments the open-source suite with an internal production
+TTI model "to provide a realistic view of system requirements for
+deployment at-scale" (Section III).  Its defining measured property is
+that Flash Attention barely helps end-to-end (Table II: 1.04x): a model
+tuned for serving cost spends its time in convolution and linear
+layers — a small latent grid (short attention sequences), attention only
+at coarse UNet levels, few denoising steps, and a heavyweight
+convolutional decoder for output quality.  This stand-in reproduces
+those properties with a plausible architecture; the real model is
+proprietary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.context import ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.layers.unet import UNet, UNetConfig
+from repro.models.base import GenerativeModel, ModelArchitecture
+from repro.models.decoders import ConvDecoder
+from repro.models.text_encoders import CLIP_TEXT_LARGE, TextEncoder
+
+
+@dataclass(frozen=True)
+class ProdImageConfig:
+    """Serving-optimized latent diffusion operating point."""
+
+    image_size: int = 1024
+    latent_size: int = 32
+    latent_channels: int = 8
+    denoising_steps: int = 25
+    guidance: bool = True
+    unet: UNetConfig = UNetConfig(
+        in_channels=8,
+        model_channels=448,
+        channel_mult=(1, 2, 4, 4),
+        num_res_blocks=2,
+        attention_levels=(1, 2, 3),  # attention only at coarse grids
+        attention_style="transformer",
+        head_dim=64,
+        text_dim=1024,
+        text_seq=77,
+    )
+
+
+class ProdImage(GenerativeModel):
+    """CLIP-large encoder + coarse-attention UNet + deep conv decoder."""
+
+    architecture = ModelArchitecture.DIFFUSION_LATENT
+
+    def __init__(self, config: ProdImageConfig = ProdImageConfig()):
+        super().__init__(name="prod_image")
+        self.config = config
+        self.text_encoder = TextEncoder(
+            CLIP_TEXT_LARGE, name="clip_text_encoder"
+        )
+        self.unet = UNet(config.unet)
+        # 32 -> 1024 requires five doublings: a deep decoder stack that
+        # dominates the pipeline with convolution.
+        self.decoder = ConvDecoder(
+            latent_channels=config.latent_channels,
+            channel_schedule=(512, 512, 256, 256, 128, 64),
+            name="pixel_decoder",
+        )
+
+    def run_inference(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        """Emit one complete inference of the pipeline into ``ctx``."""
+        config = self.config
+        self.text_encoder(ctx, batch)
+        unet_batch = batch * (2 if config.guidance else 1)
+        latent = TensorSpec(
+            (unet_batch, config.latent_channels,
+             config.latent_size, config.latent_size)
+        )
+        for step in range(config.denoising_steps):
+            with ctx.named_scope(f"denoise_{step}"):
+                self.unet(ctx, latent)
+        decode_latent = TensorSpec(
+            (batch, config.latent_channels,
+             config.latent_size, config.latent_size)
+        )
+        self.decoder(ctx, decode_latent)

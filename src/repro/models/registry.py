@@ -1,0 +1,96 @@
+"""Model-suite registry (the paper's eight workloads, Section III)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.base import GenerativeModel
+from repro.models.imagen import Imagen
+from repro.models.llama import Llama
+from repro.models.make_a_video import MakeAVideo
+from repro.models.muse import Muse
+from repro.models.parti import Parti
+from repro.models.phenaki import Phenaki
+from repro.models.prod_image import ProdImage
+from repro.models.stable_diffusion import StableDiffusion
+
+MODEL_SUITE: dict[str, Callable[[], GenerativeModel]] = {
+    "llama": Llama,
+    "imagen": Imagen,
+    "stable_diffusion": StableDiffusion,
+    "muse": Muse,
+    "parti": Parti,
+    "prod_image": ProdImage,
+    "make_a_video": MakeAVideo,
+    "phenaki": Phenaki,
+}
+
+# Display names matching the paper's tables/figures.
+DISPLAY_NAMES: dict[str, str] = {
+    "llama": "LLaMA",
+    "imagen": "Imagen",
+    "stable_diffusion": "StableDiffusion",
+    "muse": "Muse",
+    "parti": "Parti",
+    "prod_image": "Prod Image",
+    "make_a_video": "MakeAVideo",
+    "phenaki": "Phenaki",
+}
+
+
+def _sd_at(image_size: int) -> GenerativeModel:
+    from repro.models.stable_diffusion import StableDiffusionConfig
+
+    return StableDiffusion(
+        StableDiffusionConfig().at_image_size(image_size)
+    )
+
+
+def _parti_kv_cache() -> GenerativeModel:
+    from repro.models.parti import PartiConfig
+
+    return Parti(PartiConfig(use_kv_cache=True))
+
+
+def _llama_serving() -> GenerativeModel:
+    from repro.models.llama import LlamaConfig
+
+    return Llama(
+        LlamaConfig(prompt_tokens=512, decode_tokens=512,
+                    decode_bucket=32)
+    )
+
+
+MODEL_VARIANTS: dict[str, Callable[[], GenerativeModel]] = {
+    # Alternative operating points used by the scaling studies.
+    "stable_diffusion@256": lambda: _sd_at(256),
+    "stable_diffusion@768": lambda: _sd_at(768),
+    "parti@kv_cache": _parti_kv_cache,
+    "llama@serving": _llama_serving,
+}
+
+
+def build_model(name: str) -> GenerativeModel:
+    """Instantiate a model by registry name.
+
+    Plain names (``"stable_diffusion"``) give the paper's profiled
+    configuration; ``name@variant`` forms from :data:`MODEL_VARIANTS`
+    give alternative operating points (other image sizes, serving-style
+    decode, ...).
+    """
+    if name in MODEL_SUITE:
+        return MODEL_SUITE[name]()
+    if name in MODEL_VARIANTS:
+        return MODEL_VARIANTS[name]()
+    known = sorted([*MODEL_SUITE, *MODEL_VARIANTS])
+    raise ValueError(f"unknown model {name!r}; known: {known}")
+
+
+def suite_names() -> list[str]:
+    """Registry names in the paper's presentation order."""
+    return list(MODEL_SUITE)
+
+
+def variant_names() -> list[str]:
+    """Names of the alternative operating points."""
+    return sorted(MODEL_VARIANTS)

@@ -1,0 +1,147 @@
+"""Diffusion noise schedules and the steps/latency trade-off.
+
+Section II-A: "the image traverses through the UNet tens or hundreds of
+times as part of the denoising process ... there is an inherent trade
+off between number of denoising steps and image quality."  The
+characterization treats step count as a fixed per-model constant; this
+module supplies the actual scheduler machinery (beta schedules, DDIM
+step selection, signal-to-noise curves) so step-count studies are
+grounded in the same math real pipelines use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DiffusionSchedule:
+    """A discrete noise schedule over ``train_steps`` timesteps.
+
+    Attributes:
+        betas: per-step noise variances, shape (train_steps,).
+    """
+
+    betas: np.ndarray
+
+    def __post_init__(self) -> None:
+        betas = np.asarray(self.betas, dtype=np.float64)
+        if betas.ndim != 1 or betas.size == 0:
+            raise ValueError("betas must be a non-empty 1-D array")
+        if np.any(betas <= 0.0) or np.any(betas >= 1.0):
+            raise ValueError("betas must lie in (0, 1)")
+        object.__setattr__(self, "betas", betas)
+
+    @property
+    def train_steps(self) -> int:
+        return int(self.betas.size)
+
+    @property
+    def alphas(self) -> np.ndarray:
+        return 1.0 - self.betas
+
+    @property
+    def alphas_cumprod(self) -> np.ndarray:
+        """\\bar{alpha}_t: the signal fraction remaining at step t."""
+        return np.cumprod(self.alphas)
+
+    def signal_to_noise(self) -> np.ndarray:
+        """SNR_t = \\bar{alpha}_t / (1 - \\bar{alpha}_t)."""
+        cumprod = self.alphas_cumprod
+        return cumprod / (1.0 - cumprod)
+
+    def ddim_timesteps(self, inference_steps: int) -> np.ndarray:
+        """Evenly spaced timestep subsequence for DDIM-style sampling.
+
+        Returned descending (the order inference visits them).
+        """
+        if not 0 < inference_steps <= self.train_steps:
+            raise ValueError(
+                f"inference steps must be in [1, {self.train_steps}]"
+            )
+        stride = self.train_steps / inference_steps
+        steps = (np.arange(inference_steps) * stride).round().astype(int)
+        return steps[::-1].copy()
+
+    def terminal_signal(self) -> float:
+        """Remaining signal at the final training step (≈ pure noise)."""
+        return float(self.alphas_cumprod[-1])
+
+
+def linear_schedule(
+    train_steps: int = 1000,
+    beta_start: float = 8.5e-4,
+    beta_end: float = 1.2e-2,
+) -> DiffusionSchedule:
+    """The DDPM/Stable-Diffusion linear(-ish) beta schedule."""
+    if train_steps <= 0:
+        raise ValueError("train_steps must be positive")
+    if not 0.0 < beta_start <= beta_end < 1.0:
+        raise ValueError("need 0 < beta_start <= beta_end < 1")
+    return DiffusionSchedule(
+        betas=np.linspace(beta_start, beta_end, train_steps)
+    )
+
+
+def cosine_schedule(
+    train_steps: int = 1000, offset: float = 8e-3
+) -> DiffusionSchedule:
+    """Nichol & Dhariwal's cosine \\bar{alpha} schedule."""
+    if train_steps <= 0:
+        raise ValueError("train_steps must be positive")
+    steps = np.arange(train_steps + 1, dtype=np.float64)
+    f = np.cos(
+        ((steps / train_steps + offset) / (1.0 + offset)) * np.pi / 2.0
+    ) ** 2
+    cumprod = f / f[0]
+    betas = 1.0 - cumprod[1:] / cumprod[:-1]
+    return DiffusionSchedule(betas=np.clip(betas, 1e-8, 0.999))
+
+
+@dataclass(frozen=True)
+class StepLatencyPoint:
+    """Latency consequence of one inference step count."""
+
+    steps: int
+    latency_s: float
+    snr_coverage: float
+    """Fraction of the schedule's log-SNR range the visited timesteps
+    span — a proxy for how much of the denoising trajectory the step
+    budget still covers."""
+
+
+def steps_latency_tradeoff(
+    step_latency_s: float,
+    step_counts: list[int],
+    schedule: DiffusionSchedule | None = None,
+    fixed_overhead_s: float = 0.0,
+) -> list[StepLatencyPoint]:
+    """Latency vs step count under a schedule.
+
+    ``step_latency_s`` is one UNet pass (measure it with the profiler);
+    ``fixed_overhead_s`` covers the text encoder and decoder.
+    """
+    if step_latency_s <= 0:
+        raise ValueError("step latency must be positive")
+    if not step_counts:
+        raise ValueError("need at least one step count")
+    if schedule is None:
+        schedule = linear_schedule()
+    log_snr = np.log(schedule.signal_to_noise())
+    full_range = float(log_snr.max() - log_snr.min())
+    points = []
+    for steps in sorted(step_counts):
+        visited = schedule.ddim_timesteps(steps)
+        covered = float(
+            log_snr[visited].max() - log_snr[visited].min()
+        ) if steps > 1 else 0.0
+        points.append(
+            StepLatencyPoint(
+                steps=steps,
+                latency_s=fixed_overhead_s + steps * step_latency_s,
+                snr_coverage=covered / full_range if full_range else 1.0,
+            )
+        )
+    return points

@@ -1,0 +1,95 @@
+"""Stable Diffusion: the latent-diffusion representative of the suite.
+
+Pipeline (Figure 2, middle row): CLIP text encoder -> UNet denoising
+loop in an 8x-downsampled latent space -> VAE decoder back to pixels.
+The latent operating point is why SD's sequence lengths top out at 4096
+(64x64 latent for a 512px image, Figure 7) and why its decoder is a
+separate convolutional cost the pixel-based Imagen does not pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ir.context import ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.layers.unet import UNet, UNetConfig
+from repro.models.base import GenerativeModel, ModelArchitecture
+from repro.models.decoders import ConvDecoder
+from repro.models.text_encoders import CLIP_TEXT, TextEncoder
+
+
+@dataclass(frozen=True)
+class StableDiffusionConfig:
+    """SD-1.x-style architecture at a 512px operating point."""
+
+    image_size: int = 512
+    latent_downsample: int = 8
+    latent_channels: int = 4
+    denoising_steps: int = 50
+    guidance: bool = True
+    """Classifier-free guidance doubles the UNet batch at inference."""
+    unet: UNetConfig = UNetConfig(
+        in_channels=4,
+        model_channels=320,
+        channel_mult=(1, 2, 4, 4),
+        num_res_blocks=2,
+        attention_levels=(0, 1, 2),  # Table I: attn res [4, 2, 1]
+        attention_style="transformer",
+        head_dim=40,
+        text_dim=768,
+        text_seq=77,
+    )
+
+    @property
+    def latent_size(self) -> int:
+        return self.image_size // self.latent_downsample
+
+    def at_image_size(self, image_size: int) -> "StableDiffusionConfig":
+        """The same architecture asked for a different output size.
+
+        This is the Figure 8/9 sweep: the UNet is resolution-agnostic,
+        so only the latent grid changes.
+        """
+        if image_size % self.latent_downsample:
+            raise ValueError(
+                f"image size {image_size} not divisible by "
+                f"{self.latent_downsample}"
+            )
+        return replace(self, image_size=image_size)
+
+
+class StableDiffusion(GenerativeModel):
+    """CLIP encoder + latent UNet + VAE decoder."""
+
+    architecture = ModelArchitecture.DIFFUSION_LATENT
+
+    def __init__(
+        self, config: StableDiffusionConfig = StableDiffusionConfig()
+    ):
+        super().__init__(name="stable_diffusion")
+        self.config = config
+        self.text_encoder = TextEncoder(CLIP_TEXT, name="clip_text_encoder")
+        self.unet = UNet(config.unet)
+        self.vae_decoder = ConvDecoder(
+            latent_channels=config.latent_channels,
+            channel_schedule=(512, 512, 256, 128),
+            name="vae_decoder",
+        )
+
+    def run_inference(self, ctx: ExecutionContext, batch: int = 1) -> None:
+        """Emit one complete inference of the pipeline into ``ctx``."""
+        config = self.config
+        self.text_encoder(ctx, batch)
+        size = config.latent_size
+        unet_batch = batch * (2 if config.guidance else 1)
+        latent = TensorSpec(
+            (unet_batch, config.latent_channels, size, size)
+        )
+        for step in range(config.denoising_steps):
+            with ctx.named_scope(f"denoise_{step}"):
+                self.unet(ctx, latent)
+        decode_latent = TensorSpec(
+            (batch, config.latent_channels, size, size)
+        )
+        self.vae_decoder(ctx, decode_latent)

@@ -1,0 +1,79 @@
+"""Text encoders: the conditioning front-end of every TTI/TTV model.
+
+TTI/TTV pipelines are stitched from independently trained components
+(Section II); the text encoder is the first.  Stable Diffusion uses a
+CLIP text encoder, Imagen/Muse use T5 variants — all are plain
+transformer encoder stacks at short sequence lengths, so one class with
+presets covers them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.context import ExecutionContext
+from repro.ir.module import Module
+from repro.ir.tensor import TensorSpec
+from repro.layers.embedding import TokenEmbedding
+from repro.layers.transformer import TransformerConfig, TransformerStack
+
+
+@dataclass(frozen=True)
+class TextEncoderConfig:
+    """Architecture + tokenization of a text encoder."""
+
+    dim: int
+    num_layers: int
+    num_heads: int
+    max_seq: int
+    vocab: int = 32000
+    ffn_hidden: int | None = None
+
+
+CLIP_TEXT = TextEncoderConfig(
+    dim=768, num_layers=12, num_heads=12, max_seq=77, vocab=49408
+)
+CLIP_TEXT_LARGE = TextEncoderConfig(
+    dim=1024, num_layers=24, num_heads=16, max_seq=77, vocab=49408
+)
+T5_LARGE = TextEncoderConfig(
+    dim=1024, num_layers=24, num_heads=16, max_seq=128, vocab=32128,
+    ffn_hidden=2816,
+)
+T5_XL = TextEncoderConfig(
+    dim=2048, num_layers=24, num_heads=32, max_seq=128, vocab=32128,
+    ffn_hidden=5120,
+)
+T5_XXL = TextEncoderConfig(
+    dim=4096, num_layers=24, num_heads=64, max_seq=128, vocab=32128,
+    ffn_hidden=10240,
+)
+
+
+class TextEncoder(Module):
+    """Transformer text encoder producing (B, seq, dim) conditioning."""
+
+    def __init__(self, config: TextEncoderConfig, name: str | None = None):
+        super().__init__(name=name or "text_encoder")
+        self.config = config
+        self.embedding = TokenEmbedding(config.vocab, config.dim)
+        self.stack = TransformerStack(
+            TransformerConfig(
+                dim=config.dim,
+                num_layers=config.num_layers,
+                num_heads=config.num_heads,
+                ffn_hidden=config.ffn_hidden,
+                causal=False,
+            )
+        )
+
+    def forward(
+        self, ctx: ExecutionContext, batch: int, seq: int | None = None
+    ) -> TensorSpec:
+        seq = seq or self.config.max_seq
+        if seq > self.config.max_seq:
+            raise ValueError(
+                f"{self.name}: seq {seq} exceeds max {self.config.max_seq}"
+            )
+        tokens = self.embedding(ctx, batch, seq)
+        return self.stack(ctx, tokens)

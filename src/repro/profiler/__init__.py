@@ -1,0 +1,78 @@
+"""Profiling and analysis of model traces (the paper's tooling layer)."""
+
+from repro.profiler.breakdown import (
+    OperatorBreakdown,
+    SpeedupReport,
+    TemporalSpatialReport,
+    attention_core_time,
+    breakdown,
+    speedup_report,
+    temporal_spatial_report,
+)
+from repro.profiler.diff import DiffEntry, TraceDiff, diff_traces, render_diff
+from repro.profiler.memory_timeline import (
+    MemorySample,
+    MemoryTimeline,
+    memory_timeline,
+)
+from repro.profiler.memory_footprint import (
+    InferenceMemoryFootprint,
+    estimate_inference_memory,
+    kv_cache_bytes,
+    suite_kv_cache_bytes,
+)
+from repro.profiler.profiler import ProfileResult, profile_both, profile_model
+from repro.profiler.summary import (
+    ComponentSummary,
+    render_summary,
+    summarize_components,
+)
+from repro.profiler.seqlen import (
+    SeqLenDistribution,
+    SeqLenSample,
+    fundamental_period,
+    sequence_length_distribution,
+    sequence_length_profile,
+)
+from repro.profiler.trace_export import (
+    load_chrome_trace,
+    parse_chrome_trace,
+    save_chrome_trace,
+    to_chrome_trace,
+)
+
+__all__ = [
+    "ComponentSummary",
+    "DiffEntry",
+    "TraceDiff",
+    "diff_traces",
+    "render_diff",
+    "InferenceMemoryFootprint",
+    "MemorySample",
+    "MemoryTimeline",
+    "memory_timeline",
+    "OperatorBreakdown",
+    "ProfileResult",
+    "estimate_inference_memory",
+    "kv_cache_bytes",
+    "render_summary",
+    "suite_kv_cache_bytes",
+    "summarize_components",
+    "SeqLenDistribution",
+    "SeqLenSample",
+    "SpeedupReport",
+    "TemporalSpatialReport",
+    "attention_core_time",
+    "breakdown",
+    "fundamental_period",
+    "load_chrome_trace",
+    "parse_chrome_trace",
+    "profile_both",
+    "profile_model",
+    "save_chrome_trace",
+    "sequence_length_distribution",
+    "sequence_length_profile",
+    "speedup_report",
+    "temporal_spatial_report",
+    "to_chrome_trace",
+]

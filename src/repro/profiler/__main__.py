@@ -1,0 +1,5 @@
+"""``python -m repro.profiler`` entry point."""
+
+from repro.profiler.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Trace diffing: where did the time go between two runs?
+
+Compares two traces (baseline vs Flash Attention, A100 vs H100, two
+model revisions) module-by-module and category-by-category — the
+question every Figure 6-style bar chart answers, as a queryable object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.trace import Trace
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One bucket's time in both runs."""
+
+    key: str
+    before_s: float
+    after_s: float
+
+    @property
+    def delta_s(self) -> float:
+        return self.after_s - self.before_s
+
+    @property
+    def speedup(self) -> float:
+        """before/after; inf when the bucket vanished entirely."""
+        if self.after_s == 0:
+            return float("inf") if self.before_s > 0 else 1.0
+        return self.before_s / self.after_s
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Category- and module-level comparison of two traces."""
+
+    total_before_s: float
+    total_after_s: float
+    by_category: tuple[DiffEntry, ...]
+    by_module: tuple[DiffEntry, ...]
+
+    @property
+    def end_to_end_speedup(self) -> float:
+        return self.total_before_s / self.total_after_s
+
+    def largest_saving(self) -> DiffEntry:
+        """The category that contributed the most absolute time saved."""
+        return min(self.by_category, key=lambda entry: entry.delta_s)
+
+    def regressions(self) -> list[DiffEntry]:
+        """Categories that got *slower* (beyond rounding)."""
+        return [
+            entry for entry in self.by_category
+            if entry.delta_s > 1e-9
+        ]
+
+
+def _category_times(trace: Trace) -> dict[str, float]:
+    return {
+        category.value: time_s
+        for category, time_s in trace.time_by_category().items()
+    }
+
+
+def _module_times(trace: Trace, depth: int) -> dict[str, float]:
+    times: dict[str, float] = {}
+    for event in trace:
+        key = ".".join(event.module_path.split(".")[:depth])
+        times[key] = times.get(key, 0.0) + event.cost.time_s
+    return times
+
+
+def _entries(
+    before: dict[str, float], after: dict[str, float]
+) -> tuple[DiffEntry, ...]:
+    keys = sorted(set(before) | set(after))
+    entries = [
+        DiffEntry(
+            key=key,
+            before_s=before.get(key, 0.0),
+            after_s=after.get(key, 0.0),
+        )
+        for key in keys
+    ]
+    entries.sort(key=lambda entry: entry.delta_s)
+    return tuple(entries)
+
+
+def diff_traces(before: Trace, after: Trace, *, depth: int = 1) -> TraceDiff:
+    """Compare two traces; ``depth`` controls module-path granularity."""
+    if depth <= 0:
+        raise ValueError("depth must be positive")
+    if not before.events or not after.events:
+        raise ValueError("both traces must be non-empty")
+    return TraceDiff(
+        total_before_s=before.total_time_s,
+        total_after_s=after.total_time_s,
+        by_category=_entries(
+            _category_times(before), _category_times(after)
+        ),
+        by_module=_entries(
+            _module_times(before, depth), _module_times(after, depth)
+        ),
+    )
+
+
+def render_diff(diff: TraceDiff, *, top: int = 8) -> str:
+    """Readable report of the largest movers."""
+    from repro.reporting.table import render_table
+
+    def rows(entries: tuple[DiffEntry, ...]) -> list[list[object]]:
+        return [
+            [
+                entry.key,
+                f"{entry.before_s*1e3:.1f}",
+                f"{entry.after_s*1e3:.1f}",
+                f"{entry.delta_s*1e3:+.1f}",
+                "inf" if entry.speedup == float("inf")
+                else f"{entry.speedup:.2f}x",
+            ]
+            for entry in entries[:top]
+        ]
+
+    header = ["bucket", "before ms", "after ms", "delta ms", "speedup"]
+    parts = [
+        f"end-to-end: {diff.total_before_s*1e3:.1f} ms -> "
+        f"{diff.total_after_s*1e3:.1f} ms "
+        f"({diff.end_to_end_speedup:.2f}x)",
+        render_table(header, rows(diff.by_category),
+                     title="By operator category"),
+        render_table(header, rows(diff.by_module), title="By module"),
+    ]
+    return "\n\n".join(parts)
+
+
+__all__ = ["DiffEntry", "TraceDiff", "diff_traces", "render_diff"]

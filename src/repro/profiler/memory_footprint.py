@@ -1,0 +1,108 @@
+"""Inference memory footprint estimation.
+
+The paper profiles single-GPU inference "since the model parameters can
+fit within the 80 GB memory constraints" (Section III) and ranks the
+TTI models' memory requirements in Table I (Parti 'High', Muse/SD
+'Low').  This module estimates peak HBM use during inference from a
+model and its trace:
+
+* resident parameters (FP16),
+* the largest transient working set any single kernel touches — for
+  baseline attention this is the materialized similarity matrix, the
+  O(L^4) object of Section V,
+* KV caches for autoregressive decoders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import A100_80GB, GPUSpec
+from repro.ir.module import Module
+from repro.ir.trace import Trace, TraceEvent
+
+
+@dataclass(frozen=True)
+class InferenceMemoryFootprint:
+    """Peak-memory decomposition for one inference configuration."""
+
+    parameter_bytes: float
+    peak_transient_bytes: float
+    kv_cache_bytes: float
+    peak_event: str
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.parameter_bytes
+            + self.peak_transient_bytes
+            + self.kv_cache_bytes
+        )
+
+    def fits(self, gpu: GPUSpec = A100_80GB, margin: float = 0.9) -> bool:
+        """Whether this inference fits in one GPU's HBM."""
+        if not 0.0 < margin <= 1.0:
+            raise ValueError("margin must be in (0, 1]")
+        return self.total_bytes <= gpu.dram_capacity * margin
+
+    def utilization(self, gpu: GPUSpec = A100_80GB) -> float:
+        """Fraction of one GPU's HBM this inference occupies."""
+        return self.total_bytes / gpu.dram_capacity
+
+
+def _transient_bytes(event: TraceEvent) -> float:
+    """Live bytes while one kernel runs: its inputs plus outputs."""
+    return event.op.read_bytes() + event.op.write_bytes()
+
+
+def kv_cache_bytes(
+    *,
+    layers: int,
+    max_seq: int,
+    dim: int,
+    batch: int = 1,
+    dtype_bytes: int = 2,
+) -> float:
+    """K and V caches for an autoregressive decoder."""
+    if min(layers, max_seq, dim, batch) <= 0:
+        raise ValueError("kv cache dims must be positive")
+    return 2.0 * layers * batch * max_seq * dim * dtype_bytes
+
+
+def estimate_inference_memory(
+    model: Module,
+    trace: Trace,
+    *,
+    kv_bytes: float = 0.0,
+) -> InferenceMemoryFootprint:
+    """Peak-memory estimate from a model and one inference trace."""
+    if not trace.events:
+        raise ValueError("trace is empty")
+    peak = max(trace.events, key=_transient_bytes)
+    return InferenceMemoryFootprint(
+        parameter_bytes=float(model.param_bytes()),
+        peak_transient_bytes=_transient_bytes(peak),
+        kv_cache_bytes=kv_bytes,
+        peak_event=f"{peak.module_path}:{peak.op.name}",
+    )
+
+
+def suite_kv_cache_bytes(model_name: str, model: Module) -> float:
+    """KV-cache footprint for the suite's autoregressive models."""
+    if model_name == "llama":
+        config = model.config
+        return kv_cache_bytes(
+            layers=config.num_layers,
+            max_seq=config.prompt_tokens + config.decode_tokens,
+            dim=config.dim,
+        )
+    if model_name == "parti" and getattr(
+        model.config, "use_kv_cache", False
+    ):
+        config = model.config
+        return kv_cache_bytes(
+            layers=config.decoder_layers,
+            max_seq=config.image_tokens,
+            dim=config.dim,
+        )
+    return 0.0

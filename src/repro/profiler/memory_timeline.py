@@ -1,0 +1,93 @@
+"""Transient-memory timeline over a trace.
+
+Tracks the memory the *kernels themselves* are touching over the course
+of inference — the timeline view of the Section V observation that
+diffusion memory requirements oscillate with the sequence-length cycle.
+Each event's live bytes are its operand + output footprint; peaks mark
+the materialized similarity matrices of the full-resolution attention
+levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.trace import Trace
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """Transient working set of one kernel in program order."""
+
+    index: int
+    start_s: float
+    live_bytes: float
+    op_name: str
+    module_path: str
+
+
+@dataclass(frozen=True)
+class MemoryTimeline:
+    """Samples plus summary statistics."""
+
+    samples: tuple[MemorySample, ...]
+
+    @property
+    def peak(self) -> MemorySample:
+        return max(self.samples, key=lambda sample: sample.live_bytes)
+
+    @property
+    def peak_bytes(self) -> float:
+        return self.peak.live_bytes
+
+    @property
+    def mean_bytes(self) -> float:
+        return sum(s.live_bytes for s in self.samples) / len(self.samples)
+
+    @property
+    def time_weighted_mean_bytes(self) -> float:
+        total_time = 0.0
+        weighted = 0.0
+        for index, sample in enumerate(self.samples):
+            if index + 1 < len(self.samples):
+                duration = self.samples[index + 1].start_s - sample.start_s
+            else:
+                duration = 0.0
+            total_time += duration
+            weighted += sample.live_bytes * duration
+        if total_time == 0.0:
+            return self.mean_bytes
+        return weighted / total_time
+
+    @property
+    def peak_to_mean(self) -> float:
+        """Burstiness: how much larger the peak is than the average.
+
+        The cyclic UNet makes this large for diffusion models — the
+        same property the pod scheduler exploits for bandwidth.
+        """
+        return self.peak_bytes / self.time_weighted_mean_bytes
+
+    def downsampled(self, points: int) -> list[MemorySample]:
+        """Every Nth sample, for plotting-sized output."""
+        if points <= 0:
+            raise ValueError("points must be positive")
+        step = max(1, len(self.samples) // points)
+        return list(self.samples[::step])
+
+
+def memory_timeline(trace: Trace) -> MemoryTimeline:
+    """Build the transient-memory timeline of a trace."""
+    if not trace.events:
+        raise ValueError("trace is empty")
+    samples = tuple(
+        MemorySample(
+            index=event.index,
+            start_s=event.start_s,
+            live_bytes=event.op.read_bytes() + event.op.write_bytes(),
+            op_name=event.op.name,
+            module_path=event.module_path,
+        )
+        for event in trace
+    )
+    return MemoryTimeline(samples=samples)

@@ -1,0 +1,84 @@
+"""Model profiler: runs a pipeline and captures its kernel trace.
+
+The analog of the paper's PyTorch-Profiler-plus-hooks framework
+(Section III, "Tools"): module scopes annotate which component emitted
+each kernel, and the resulting :class:`ProfileResult` feeds the
+breakdown, speedup and sequence-length analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import A100_80GB, GPUSpec
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.module import Module
+from repro.ir.trace import Trace
+from repro.kernels.base import DEFAULT_TUNING, TuningConstants
+from repro.kernels.estimator import CostEstimator
+
+
+@dataclass
+class ProfileResult:
+    """Trace plus the configuration that produced it."""
+
+    model_name: str
+    gpu: GPUSpec
+    attention_impl: AttentionImpl
+    trace: Trace
+    parameters: int
+
+    @property
+    def total_time_s(self) -> float:
+        return self.trace.total_time_s
+
+    @property
+    def total_flops(self) -> float:
+        return self.trace.total_flops
+
+
+def profile_model(
+    model: Module,
+    *,
+    gpu: GPUSpec = A100_80GB,
+    attention_impl: AttentionImpl = AttentionImpl.BASELINE,
+    tuning: TuningConstants = DEFAULT_TUNING,
+    batch: int = 1,
+) -> ProfileResult:
+    """Run one full inference of ``model`` and capture the trace.
+
+    ``model`` must expose ``run_inference(ctx, batch=...)`` (every model
+    in :mod:`repro.models` does).
+    """
+    ctx = ExecutionContext(
+        gpu=gpu,
+        attention_impl=attention_impl,
+        estimator=CostEstimator(gpu, tuning),
+    )
+    model.run_inference(ctx, batch=batch)
+    return ProfileResult(
+        model_name=model.name,
+        gpu=gpu,
+        attention_impl=attention_impl,
+        trace=ctx.trace,
+        parameters=model.param_count(),
+    )
+
+
+def profile_both(
+    model: Module,
+    *,
+    gpu: GPUSpec = A100_80GB,
+    tuning: TuningConstants = DEFAULT_TUNING,
+    batch: int = 1,
+) -> tuple[ProfileResult, ProfileResult]:
+    """Profile with baseline attention and with Flash Attention."""
+    baseline = profile_model(
+        model, gpu=gpu, attention_impl=AttentionImpl.BASELINE,
+        tuning=tuning, batch=batch,
+    )
+    flash = profile_model(
+        model, gpu=gpu, attention_impl=AttentionImpl.FLASH,
+        tuning=tuning, batch=batch,
+    )
+    return baseline, flash

@@ -1,0 +1,119 @@
+"""Sequence-length profiling (Section V, Figures 7 and 8).
+
+Each attention invocation contributes one sample: its query sequence
+length.  For diffusion UNets this traces the U-shaped, cyclic profile
+created by down/upsampling; for Parti it ramps as the autoregressive
+prefix grows; for Muse it is constant.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.ir.ops import AttentionRole
+from repro.ir.trace import Trace
+
+
+@dataclass(frozen=True)
+class SeqLenSample:
+    """One attention call in program order."""
+
+    call_index: int
+    seq_q: int
+    seq_kv: int
+    role: AttentionRole
+    module_path: str
+
+
+def sequence_length_profile(
+    trace: Trace,
+    *,
+    include_cross: bool = False,
+) -> list[SeqLenSample]:
+    """Sequence length of every attention call, in execution order.
+
+    The paper plots self-attention sequence lengths; cross-attention
+    calls (fixed text length) can be included with ``include_cross``.
+    """
+    samples: list[SeqLenSample] = []
+    for event in trace.attention_anchors():
+        info = event.op.attention
+        if info is None:
+            continue
+        if info.role is AttentionRole.CROSS and not include_cross:
+            continue
+        samples.append(
+            SeqLenSample(
+                call_index=len(samples),
+                seq_q=info.seq_q,
+                seq_kv=info.seq_kv,
+                role=info.role,
+                module_path=event.module_path,
+            )
+        )
+    return samples
+
+
+def fundamental_period(samples: list[SeqLenSample]) -> list[SeqLenSample]:
+    """Truncate a profile to its minimum repeating pattern.
+
+    Figure 7 shows one period per model (e.g. one UNet pass of the
+    denoising loop).  The period is found by trying divisors of the
+    sample count and checking that the seq_q pattern repeats.
+    """
+    values = [sample.seq_q for sample in samples]
+    count = len(values)
+    for period in range(1, count + 1):
+        if count % period:
+            continue
+        if all(
+            values[index] == values[index % period]
+            for index in range(count)
+        ):
+            return samples[:period]
+    return list(samples)
+
+
+@dataclass(frozen=True)
+class SeqLenDistribution:
+    """Histogram of sequence lengths over one inference (Figure 8)."""
+
+    counts: dict[int, int]
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def distinct_lengths(self) -> list[int]:
+        return sorted(self.counts)
+
+    @property
+    def max_length(self) -> int:
+        return max(self.counts)
+
+    @property
+    def min_length(self) -> int:
+        return min(self.counts)
+
+    @property
+    def dynamic_range(self) -> float:
+        """Max over min sequence length ('varies by up to 4x...')."""
+        return self.max_length / self.min_length
+
+    def frequency(self, seq_len: int) -> float:
+        """Fraction of attention calls at ``seq_len`` (0 if absent)."""
+        return self.counts.get(seq_len, 0) / self.total_calls
+
+
+def sequence_length_distribution(
+    trace: Trace, *, include_cross: bool = False
+) -> SeqLenDistribution:
+    """Histogram the self-attention sequence lengths of a run."""
+    samples = sequence_length_profile(trace, include_cross=include_cross)
+    if not samples:
+        raise ValueError("trace contains no attention calls")
+    return SeqLenDistribution(
+        counts=dict(Counter(sample.seq_q for sample in samples))
+    )

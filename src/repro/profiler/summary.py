@@ -1,0 +1,115 @@
+"""Model summaries: per-component parameters, FLOPs and time.
+
+The ``torchinfo``-style view of a profiled pipeline — which component
+(text encoder / UNet / decoder / ...) owns the parameters and where the
+time actually goes.  Useful both interactively and as the basis of the
+stage-level analyses in the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.module import Module
+from repro.ir.trace import Trace
+
+
+@dataclass(frozen=True)
+class ComponentSummary:
+    """One top-level component of a pipeline."""
+
+    name: str
+    parameters: int
+    time_s: float
+    flops: float
+    moved_bytes: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        if self.moved_bytes == 0:
+            return 0.0
+        return self.flops / self.moved_bytes
+
+
+def _component_of(path: str, aliases: dict[str, str]) -> str | None:
+    for part in path.split("."):
+        if part in aliases:
+            return aliases[part]
+    return None
+
+
+def summarize_components(
+    model: Module, trace: Trace
+) -> list[ComponentSummary]:
+    """Aggregate a trace by the model's direct children.
+
+    Module paths carry each child's *module name* (which may differ
+    from its attribute name, e.g. ``text_encoder`` holding a module
+    named ``clip_text_encoder``); both are matched.  Kernels outside
+    any child are reported as ``<other>``.
+    """
+    children = dict(model.named_children())
+    aliases: dict[str, str] = {}
+    for key, child in children.items():
+        aliases[key] = key
+        aliases.setdefault(child.name, key)
+    buckets: dict[str, dict[str, float]] = {
+        name: {"time": 0.0, "flops": 0.0, "bytes": 0.0}
+        for name in [*children, "<other>"]
+    }
+    for event in trace:
+        component = _component_of(event.module_path, aliases) or "<other>"
+        bucket = buckets[component]
+        bucket["time"] += event.cost.time_s
+        bucket["flops"] += event.cost.flops
+        bucket["bytes"] += event.cost.moved_bytes
+    summaries = []
+    for name, child in children.items():
+        bucket = buckets[name]
+        summaries.append(
+            ComponentSummary(
+                name=name,
+                parameters=child.param_count(),
+                time_s=bucket["time"],
+                flops=bucket["flops"],
+                moved_bytes=bucket["bytes"],
+            )
+        )
+    other = buckets["<other>"]
+    if other["time"] > 0:
+        summaries.append(
+            ComponentSummary(
+                name="<other>",
+                parameters=0,
+                time_s=other["time"],
+                flops=other["flops"],
+                moved_bytes=other["bytes"],
+            )
+        )
+    summaries.sort(key=lambda summary: summary.time_s, reverse=True)
+    return summaries
+
+
+def render_summary(model: Module, trace: Trace) -> str:
+    """Human-readable component table for one profiled run."""
+    from repro.reporting.table import format_bytes, format_flops, render_table
+
+    total_time = trace.total_time_s
+    rows = [
+        [
+            summary.name,
+            f"{summary.parameters/1e6:,.1f}M",
+            f"{summary.time_s*1e3:.1f} ms",
+            f"{summary.time_s/total_time*100:.1f}%"
+            if total_time else "0%",
+            format_flops(summary.flops),
+            format_bytes(summary.moved_bytes),
+        ]
+        for summary in summarize_components(model, trace)
+    ]
+    return render_table(
+        ["component", "params", "time", "share", "flops", "bytes"],
+        rows,
+        title=f"{model.name}: {len(trace)} kernels, "
+        f"{total_time*1e3:.1f} ms total",
+    )

@@ -1,0 +1,106 @@
+"""Chrome-trace export and re-import.
+
+The paper's methodology records PyTorch Profiler timelines and parses
+them with custom scripts; this module round-trips our traces through the
+same ``chrome://tracing`` JSON event format so they can be inspected in
+Perfetto or post-processed externally.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.ir.ops import OpCategory
+from repro.ir.trace import Trace, TraceEvent
+
+
+def to_chrome_trace(trace: Trace, *, process_name: str = "gpu") -> dict:
+    """Serialize a trace as Chrome-trace JSON (complete 'X' events)."""
+    events: list[dict[str, Any]] = [
+        {
+            "name": process_name,
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for event in trace:
+        events.append(
+            {
+                "name": event.op.name,
+                "cat": event.category.value,
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": event.start_s * 1e6,
+                "dur": event.cost.time_s * 1e6,
+                "args": {
+                    "module": event.module_path,
+                    "flops": event.cost.flops,
+                    "bytes": event.cost.moved_bytes,
+                    "limiter": event.cost.limiter,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(trace: Trace, path: str | Path) -> Path:
+    """Write a trace to disk; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(trace)))
+    return path
+
+
+def parse_chrome_trace(payload: dict) -> list[dict[str, Any]]:
+    """Parse a Chrome-trace dict back to a flat list of kernel records.
+
+    This is the script-side half of the paper's methodology: linking
+    each GPU kernel to its module annotation and category so operator
+    breakdowns can be computed from the serialized timeline alone.
+    """
+    records = []
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        records.append(
+            {
+                "name": event["name"],
+                "category": event["cat"],
+                "module": event["args"]["module"],
+                "start_us": event["ts"],
+                "duration_us": event["dur"],
+                "flops": event["args"]["flops"],
+                "bytes": event["args"]["bytes"],
+            }
+        )
+    return records
+
+
+def category_times_from_records(
+    records: list[dict[str, Any]],
+) -> dict[OpCategory, float]:
+    """Operator-category times (seconds) from parsed trace records."""
+    times: dict[OpCategory, float] = {}
+    for record in records:
+        category = OpCategory(record["category"])
+        times[category] = times.get(category, 0.0) + (
+            record["duration_us"] / 1e6
+        )
+    return times
+
+
+def load_chrome_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Read a trace file written by :func:`save_chrome_trace`."""
+    return parse_chrome_trace(json.loads(Path(path).read_text()))
+
+
+__all__ = [
+    "category_times_from_records",
+    "load_chrome_trace",
+    "parse_chrome_trace",
+    "save_chrome_trace",
+    "to_chrome_trace",
+]

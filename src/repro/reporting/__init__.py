@@ -1,0 +1,17 @@
+"""Text rendering of tables and figure series."""
+
+from repro.reporting.table import (
+    format_bytes,
+    format_flops,
+    format_value,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "format_bytes",
+    "format_flops",
+    "format_value",
+    "render_series",
+    "render_table",
+]

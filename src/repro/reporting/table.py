@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output readable without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_value(value: object) -> str:
+    """Render one table cell (floats get magnitude-aware formatting)."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e15 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    rendered_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(
+                cell.ljust(widths[index]) for index, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render (x, y1, y2, ...) series as a table — a figure in rows."""
+    return render_table([x_label, *y_labels], points, title=title)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_flops(flops: float) -> str:
+    """Human-readable FLOP count."""
+    value = float(flops)
+    for unit in ("FLOP", "KFLOP", "MFLOP", "GFLOP", "TFLOP", "PFLOP"):
+        if abs(value) < 1000.0 or unit == "PFLOP":
+            return f"{value:.2f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,40 @@
+"""Serving-layer simulation: workload generation and queueing.
+
+The deployability half of the paper's closing argument: per-request
+service times come from the performance model, and this package turns
+them into fleet-level latency/throughput numbers.
+"""
+
+from repro.serving.batching import (
+    BatchRecord,
+    interpolated_batch_latency,
+    mean_batch_size,
+    simulate_batching_server,
+)
+from repro.serving.queueing import (
+    CompletedRequest,
+    QueueReport,
+    servers_for_slo,
+    simulate_queue,
+)
+from repro.serving.workload import (
+    Request,
+    WorkloadMix,
+    generate_requests,
+    suite_mix_from_profiles,
+)
+
+__all__ = [
+    "BatchRecord",
+    "CompletedRequest",
+    "interpolated_batch_latency",
+    "mean_batch_size",
+    "simulate_batching_server",
+    "QueueReport",
+    "Request",
+    "WorkloadMix",
+    "generate_requests",
+    "servers_for_slo",
+    "simulate_queue",
+    "suite_mix_from_profiles",
+]

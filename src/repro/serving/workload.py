@@ -1,0 +1,119 @@
+"""Serving workload generation.
+
+The paper's closing argument is about "designing efficient and
+deployable systems" for TTI/TTV; deployability is a queueing question
+as much as a kernel question.  This module generates synthetic request
+streams (Poisson arrivals over a model mix) whose per-request service
+times come from the same profiles as everything else in the repository.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generation request."""
+
+    request_id: int
+    arrival_s: float
+    model: str
+    service_s: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0 or self.service_s <= 0:
+            raise ValueError("invalid request timing")
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A traffic mix: share and service time per model."""
+
+    shares: dict[str, float]
+    service_s: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.shares:
+            raise ValueError("mix must contain at least one model")
+        if set(self.shares) != set(self.service_s):
+            raise ValueError("shares and service times must share keys")
+        total = sum(self.shares.values())
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"shares must sum to 1, got {total}")
+        if any(share < 0 for share in self.shares.values()):
+            raise ValueError("shares must be non-negative")
+        if any(value <= 0 for value in self.service_s.values()):
+            raise ValueError("service times must be positive")
+
+    @property
+    def mean_service_s(self) -> float:
+        return sum(
+            self.shares[name] * self.service_s[name]
+            for name in self.shares
+        )
+
+    def saturation_rate(self) -> float:
+        """Arrival rate (req/s) at which one server hits 100% load."""
+        return 1.0 / self.mean_service_s
+
+
+def suite_mix_from_profiles(
+    profiles: dict[str, object],
+    shares: dict[str, float],
+    use_flash: bool = True,
+) -> WorkloadMix:
+    """Build a mix from cached suite profiles.
+
+    ``profiles`` is the ``{name: (baseline, flash)}`` mapping from
+    :func:`repro.experiments.suite_cache.all_profiles`.
+    """
+    service = {}
+    for name in shares:
+        baseline, flash = profiles[name]
+        result = flash if use_flash else baseline
+        service[name] = result.total_time_s
+    return WorkloadMix(shares=dict(shares), service_s=service)
+
+
+def generate_requests(
+    mix: WorkloadMix,
+    *,
+    arrival_rate: float,
+    duration_s: float,
+    seed: int = 0,
+    service_jitter: float = 0.05,
+) -> list[Request]:
+    """Poisson arrivals over ``duration_s`` with the given mix.
+
+    ``service_jitter`` adds a uniform ±fraction to service times
+    (prompt-length variation etc.).
+    """
+    if arrival_rate <= 0 or duration_s <= 0:
+        raise ValueError("arrival rate and duration must be positive")
+    if not 0.0 <= service_jitter < 1.0:
+        raise ValueError("service jitter must be in [0, 1)")
+    rng = random.Random(seed)
+    names = list(mix.shares)
+    weights = [mix.shares[name] for name in names]
+    requests: list[Request] = []
+    clock = 0.0
+    index = 0
+    while True:
+        clock += rng.expovariate(arrival_rate)
+        if clock >= duration_s:
+            break
+        model = rng.choices(names, weights)[0]
+        jitter = 1.0 + rng.uniform(-service_jitter, service_jitter)
+        requests.append(
+            Request(
+                request_id=index,
+                arrival_s=clock,
+                model=model,
+                service_s=mix.service_s[model] * jitter,
+            )
+        )
+        index += 1
+    return requests

@@ -1,0 +1,91 @@
+"""Interconnect specifications for multi-GPU training.
+
+The paper trains with Fully Sharded Data Parallelism over nodes of
+8 A100s (Section III, "Hardware Systems").  FSDP's cost is dominated by
+collectives, so the model needs per-link bandwidths for intra-node
+(NVLink/NVSwitch) and inter-node (InfiniBand) communication.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Bandwidths and latencies of a GPU cluster fabric.
+
+    Attributes:
+        intra_node_bandwidth: per-GPU NVLink bandwidth, bytes/s each way.
+        inter_node_bandwidth: per-GPU network bandwidth, bytes/s.
+        gpus_per_node: GPUs sharing the NVLink domain.
+        collective_latency_s: fixed latency per collective launch.
+    """
+
+    name: str
+    intra_node_bandwidth: float
+    inter_node_bandwidth: float
+    gpus_per_node: int = 8
+    collective_latency_s: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.intra_node_bandwidth <= 0 or self.inter_node_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.gpus_per_node <= 0:
+            raise ValueError("gpus_per_node must be positive")
+
+    def algorithm_bandwidth(self, world_size: int) -> float:
+        """Effective per-GPU bandwidth for ring-style collectives.
+
+        Within one node the NVLink bandwidth applies; across nodes the
+        slowest link (the network) bounds the ring.
+        """
+        if world_size <= 0:
+            raise ValueError("world size must be positive")
+        if world_size <= self.gpus_per_node:
+            return self.intra_node_bandwidth
+        return self.inter_node_bandwidth
+
+    def all_gather_time(self, payload_bytes: float, world_size: int) -> float:
+        """Ring all-gather: each GPU receives (w-1)/w of the payload."""
+        if world_size <= 1:
+            return 0.0
+        wire = payload_bytes * (world_size - 1) / world_size
+        return (
+            self.collective_latency_s
+            + wire / self.algorithm_bandwidth(world_size)
+        )
+
+    def reduce_scatter_time(
+        self, payload_bytes: float, world_size: int
+    ) -> float:
+        """Ring reduce-scatter moves the same volume as all-gather."""
+        return self.all_gather_time(payload_bytes, world_size)
+
+    def all_reduce_time(self, payload_bytes: float, world_size: int) -> float:
+        """All-reduce = reduce-scatter + all-gather."""
+        return self.all_gather_time(
+            payload_bytes, world_size
+        ) + self.reduce_scatter_time(payload_bytes, world_size)
+
+
+# A100 SXM pod: NVSwitch ~300 GB/s/GPU each way; 8x200 Gb/s HDR IB
+# shared per node -> ~25 GB/s per GPU.
+DGX_A100 = InterconnectSpec(
+    name="DGX-A100",
+    intra_node_bandwidth=300e9,
+    inter_node_bandwidth=25e9,
+)
+
+# H100 SXM pod: NVLink4 ~450 GB/s/GPU; 8x400 Gb/s NDR -> ~50 GB/s/GPU.
+DGX_H100 = InterconnectSpec(
+    name="DGX-H100",
+    intra_node_bandwidth=450e9,
+    inter_node_bandwidth=50e9,
+)
+
+
+def nodes_for(world_size: int, spec: InterconnectSpec) -> int:
+    """Node count for a world size on this fabric."""
+    return math.ceil(world_size / spec.gpus_per_node)

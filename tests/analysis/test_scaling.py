@@ -1,0 +1,75 @@
+"""Image-size and frame-count scaling analysis tests."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    crossover_frames,
+    scaling_rate,
+    sweep_frame_counts,
+    sweep_image_sizes,
+)
+from repro.ir.context import AttentionImpl
+
+
+class TestImageSweep:
+    @pytest.fixture(scope="class")
+    def flash_points(self):
+        return sweep_image_sizes([64, 512], AttentionImpl.FLASH)
+
+    def test_sizes_recorded(self, flash_points):
+        assert [p.image_size for p in flash_points] == [64, 512]
+
+    def test_times_grow_with_size(self, flash_points):
+        assert flash_points[1].total_time_s > flash_points[0].total_time_s
+
+    def test_scaling_rate(self, flash_points):
+        # Small-latent convs sit on the kernel-latency floor, so growth
+        # is sub-quadratic; what matters (Figure 9) is that convolution
+        # grows faster than flash attention.
+        conv_rate = scaling_rate(flash_points, "conv_time_s")
+        attention_rate = scaling_rate(flash_points, "attention_time_s")
+        assert conv_rate > 3.0
+        assert conv_rate > attention_rate
+
+    def test_scaling_rate_needs_two_points(self):
+        points = sweep_image_sizes([64], AttentionImpl.FLASH)
+        with pytest.raises(ValueError):
+            scaling_rate(points, "conv_time_s")
+
+    def test_impl_recorded(self, flash_points):
+        assert flash_points[0].attention_impl == "flash"
+
+
+class TestFrameSweep:
+    def test_spatial_linear_temporal_quadratic(self):
+        points = sweep_frame_counts([8, 16])
+        assert points[1].spatial_flops == pytest.approx(
+            2 * points[0].spatial_flops
+        )
+        assert points[1].temporal_flops == pytest.approx(
+            4 * points[0].temporal_flops
+        )
+
+    def test_crossover_at_grid_squared(self):
+        assert crossover_frames(16) == 256
+        assert crossover_frames(8) == 64
+
+    def test_equal_flops_at_crossover(self):
+        grid = 8
+        points = sweep_frame_counts(
+            [crossover_frames(grid)], spatial_grid=grid
+        )
+        assert points[0].spatial_flops == pytest.approx(
+            points[0].temporal_flops
+        )
+
+    def test_rejects_non_positive_frames(self):
+        with pytest.raises(ValueError):
+            sweep_frame_counts([0])
+
+    def test_rejects_non_positive_grid(self):
+        with pytest.raises(ValueError):
+            crossover_frames(0)
+
+    def test_default_sweep_has_seven_points(self):
+        assert len(sweep_frame_counts()) == 7

@@ -1,0 +1,78 @@
+"""Long-video projection tests (Section VI-B trends)."""
+
+import pytest
+
+from repro.analysis.video_trends import (
+    VideoWorkload,
+    movie_generation_gap,
+    project,
+    project_durations,
+)
+from repro.hw.spec import A100_80GB
+
+
+def clip(duration=3.0, grid=32) -> VideoWorkload:
+    return VideoWorkload(duration_s=duration, fps=24, grid=grid)
+
+
+class TestWorkload:
+    def test_frames_from_duration(self):
+        assert clip(2.0).frames == 48
+
+    def test_minimum_one_frame(self):
+        assert VideoWorkload(duration_s=0.01, fps=1, grid=8).frames == 1
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            VideoWorkload(duration_s=0.0, fps=24, grid=32)
+
+
+class TestProjection:
+    def test_short_clip_is_spatial_dominated(self):
+        projection = project(clip(3.0))
+        assert not projection.temporal_dominates
+
+    def test_movie_scene_is_temporal_dominated(self):
+        # 90 s at 24 fps = 2160 frames > grid^2 = 1024: past crossover.
+        projection = project(clip(90.0))
+        assert projection.temporal_dominates
+
+    def test_crossover_at_frames_equal_pixels(self):
+        grid = 16
+        seconds = grid * grid / 24
+        at_crossover = project(clip(seconds, grid=grid))
+        assert at_crossover.spatial_flops == pytest.approx(
+            at_crossover.temporal_flops, rel=0.05
+        )
+
+    def test_higher_resolution_delays_crossover(self):
+        low = project(clip(60.0, grid=16))
+        high = project(clip(60.0, grid=64))
+        assert low.temporal_dominates
+        assert not high.temporal_dominates
+
+    def test_temporal_memory_explodes_with_duration(self):
+        short = project(clip(3.0))
+        long = project(clip(300.0))
+        assert long.temporal_similarity_bytes > (
+            5000 * short.temporal_similarity_bytes
+        )
+
+    def test_clip_fits_movie_does_not(self):
+        assert project(clip(3.0)).temporal_fits(A100_80GB)
+        assert not project(clip(3600.0)).temporal_fits(A100_80GB)
+
+
+class TestSweeps:
+    def test_durations_sorted(self):
+        projections = project_durations([60.0, 3.0, 300.0])
+        frames = [p.workload.frames for p in projections]
+        assert frames == sorted(frames)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            project_durations([])
+
+    def test_movie_gap_is_quadratic(self):
+        gap = movie_generation_gap(clip(3.0), clip(300.0))
+        assert gap == pytest.approx((300 / 3) ** 2, rel=0.05)

@@ -1,0 +1,22 @@
+"""Shared fixtures: the suite profiles are expensive (~10 s), so they
+are computed once per session through the experiments-level cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.suite_cache import all_profiles, model_instance
+
+
+@pytest.fixture(scope="session")
+def suite_profiles():
+    """{name: (baseline ProfileResult, flash ProfileResult)}."""
+    return all_profiles()
+
+
+@pytest.fixture(scope="session")
+def suite_models():
+    """{name: GenerativeModel} singletons matching the cached profiles."""
+    from repro.models.registry import suite_names
+
+    return {name: model_instance(name) for name in suite_names()}

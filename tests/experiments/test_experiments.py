@@ -1,0 +1,70 @@
+"""Every experiment runs, renders, and its paper claims hold."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, run_experiments
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run the full harness once (suite profiles are session-cached)."""
+    return {name: run() for name, run in EXPERIMENTS.items()}
+
+
+class TestHarness:
+    def test_fourteen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 14
+
+    def test_ids_cover_paper_evaluation(self):
+        expected = {
+            "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13",
+            "table1", "table2", "table3",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_experiments_expands_all(self, results):
+        del results  # ensure cache is warm first
+        out = run_experiments(["all"])
+        assert len(out) == 14
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiments(["fig99"])
+
+
+class TestResults:
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_has_rows_and_renders(self, results, name):
+        result = results[name]
+        assert result.rows, name
+        assert result.experiment_id == name
+        rendered = result.render()
+        assert name in rendered
+        for header in result.headers:
+            assert header in rendered
+
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_every_claim_holds(self, results, name):
+        result = results[name]
+        assert result.claims, f"{name} checks nothing"
+        failing = [
+            claim for claim in result.claims if not claim.holds
+        ]
+        assert not failing, (
+            f"{name}: "
+            + "; ".join(
+                f"{claim.claim} (paper {claim.paper}, measured "
+                f"{claim.measured})"
+                for claim in failing
+            )
+        )
+
+    def test_row_widths_match_headers(self, results):
+        for name, result in results.items():
+            for row in result.rows:
+                assert len(row) == len(result.headers), name
+
+    def test_claim_render_marks_pass(self, results):
+        rendered = results["table2"].render()
+        assert "PASS" in rendered

@@ -1,0 +1,53 @@
+"""Experiment runner CLI tests (cheap experiments only)."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main, run_experiments
+
+
+class TestRunExperiments:
+    def test_single_experiment(self):
+        results = run_experiments(["fig4"])
+        assert len(results) == 1
+        assert results[0].experiment_id == "fig4"
+
+    def test_multiple_preserve_order(self):
+        results = run_experiments(["fig13", "fig4"])
+        assert [r.experiment_id for r in results] == ["fig13", "fig4"]
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            run_experiments(["fig99"])
+
+
+class TestCli:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table2" in out
+
+    def test_run_one(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out
+        assert "claims hold" in out
+
+    def test_unknown_returns_2(self, capsys):
+        assert main(["figZZ"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["fig4", "fig13", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert [entry["experiment_id"] for entry in payload] == [
+            "fig4", "fig13",
+        ]
+        assert all(
+            claim["holds"]
+            for entry in payload
+            for claim in entry["claims"]
+        )
+        capsys.readouterr()

@@ -1,0 +1,184 @@
+"""Cache simulator tests, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.cache import (
+    CacheHierarchy,
+    CacheStats,
+    SetAssociativeCache,
+)
+from repro.hw.spec import A100_80GB, CacheSpec
+
+
+def small_cache(capacity=4096, line=64, ways=2) -> SetAssociativeCache:
+    return SetAssociativeCache(
+        CacheSpec(
+            capacity_bytes=capacity,
+            line_bytes=line,
+            associativity=ways,
+            bandwidth_bytes_per_s=1e12,
+        )
+    )
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert cache.access(0) is False
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(0) is True
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=64)
+        cache.access(0)
+        assert cache.access(63) is True
+
+    def test_adjacent_line_misses(self):
+        cache = small_cache(line=64)
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_stats_count_accesses_and_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(128)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_stats_merge(self):
+        merged = CacheStats(10, 4).merge(CacheStats(6, 2))
+        assert merged.accesses == 16 and merged.hits == 6
+
+
+class TestEviction:
+    def test_lru_eviction_within_set(self):
+        # 2-way cache: three lines mapping to the same set evict the LRU.
+        cache = small_cache(capacity=4096, line=64, ways=2)
+        sets = cache.spec.num_sets
+        stride = sets * 64  # same set index every time
+        cache.access(0)
+        cache.access(stride)
+        cache.access(2 * stride)  # evicts line 0
+        assert cache.access(0) is False
+
+    def test_lru_refresh_on_hit(self):
+        cache = small_cache(capacity=4096, line=64, ways=2)
+        stride = cache.spec.num_sets * 64
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)  # refresh line 0 to MRU
+        cache.access(2 * stride)  # evicts line `stride`, not 0
+        assert cache.access(0) is True
+        assert cache.access(stride) is False
+
+    def test_working_set_within_capacity_all_hits_second_pass(self):
+        cache = small_cache(capacity=4096, line=64, ways=2)
+        lines = [i * 64 for i in range(4096 // 64)]
+        for address in lines:
+            cache.access(address)
+        second_pass = cache.access_many(lines)
+        assert second_pass.hit_rate == 1.0
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        cache = small_cache(capacity=4096, line=64, ways=2)
+        lines = [i * 64 for i in range(2 * 4096 // 64)]
+        cache.access_many(lines)
+        second_pass = cache.access_many(lines)
+        assert second_pass.hit_rate == 0.0  # LRU + sequential = thrash
+
+    def test_reset_clears_contents(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is False
+
+    def test_clear_stats_keeps_contents(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.clear_stats()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is True
+
+
+class TestHierarchy:
+    def test_l2_sees_only_l1_misses(self):
+        hierarchy = CacheHierarchy(
+            A100_80GB.l1_per_sm, A100_80GB.l2
+        )
+        stats = hierarchy.replay([0, 0, 128])
+        assert stats.l1.accesses == 3
+        assert stats.l1.hits == 1
+        assert stats.l2.accesses == 2  # the two L1 misses
+
+    def test_l2_hit_after_l1_eviction(self):
+        l1 = CacheSpec(256, 64, 2, 1e12)  # tiny: 2 sets x 2 ways
+        l2 = CacheSpec(65536, 64, 16, 1e12)
+        hierarchy = CacheHierarchy(l1, l2)
+        lines = [i * 64 for i in range(16)]  # overflow L1, fit L2
+        hierarchy.replay(lines)
+        stats = hierarchy.replay(lines)
+        assert stats.l1.hits < len(lines)
+        assert stats.l2.hit_rate == 1.0
+
+    def test_replay_returns_delta_not_cumulative(self):
+        hierarchy = CacheHierarchy(A100_80GB.l1_per_sm, A100_80GB.l2)
+        hierarchy.replay([0, 64, 128])
+        stats = hierarchy.replay([0])
+        assert stats.l1.accesses == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=1 << 20), min_size=1,
+        max_size=200,
+    )
+)
+def test_hit_rate_always_in_unit_interval(addresses):
+    cache = small_cache()
+    stats = cache.access_many(addresses)
+    assert 0.0 <= stats.hit_rate <= 1.0
+    assert stats.accesses == len(addresses)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=1 << 14), min_size=1,
+        max_size=64,
+    )
+)
+def test_immediate_repeat_always_hits(addresses):
+    cache = small_cache()
+    for address in addresses:
+        cache.access(address)
+        assert cache.access(address) is True
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lines=st.lists(
+        st.integers(min_value=0, max_value=63), min_size=1, max_size=63
+    )
+)
+def test_working_set_within_capacity_never_self_evicts(lines):
+    # 64-line fully... 2-way cache: unique lines up to capacity with
+    # distinct sets won't evict; use sequential lines (<= num_lines).
+    cache = small_cache(capacity=4096, line=64, ways=2)
+    unique = sorted(set(lines))
+    for line in unique:
+        cache.access(line * 64)
+    stats = cache.access_many([line * 64 for line in unique])
+    assert stats.hit_rate == 1.0

@@ -1,0 +1,101 @@
+"""Memory-system model tests."""
+
+import pytest
+
+from repro.hw.memory import CONTIGUOUS, AccessPattern, MemorySystem
+from repro.hw.spec import A100_80GB
+
+
+@pytest.fixture
+def memory():
+    return MemorySystem(A100_80GB, residency_fraction=0.5)
+
+
+class TestAccessPattern:
+    def test_default_is_contiguous(self):
+        assert AccessPattern(working_set_bytes=100.0).contiguous
+
+    def test_strided_pattern_not_contiguous(self):
+        pattern = AccessPattern(
+            working_set_bytes=100.0,
+            element_stride_bytes=1024,
+            element_bytes=2,
+        )
+        assert not pattern.contiguous
+
+    def test_module_constant(self):
+        assert CONTIGUOUS.contiguous
+
+
+class TestResidency:
+    def test_tiny_working_set_lives_in_l1(self, memory):
+        bw = memory.residence_bandwidth(1024.0)
+        assert bw == A100_80GB.l1_per_sm.bandwidth_bytes_per_s
+
+    def test_mid_working_set_lives_in_l2(self, memory):
+        bw = memory.residence_bandwidth(15e6)
+        assert bw == A100_80GB.l2.bandwidth_bytes_per_s
+
+    def test_large_working_set_spills_to_dram(self, memory):
+        bw = memory.residence_bandwidth(1e9)
+        assert bw == A100_80GB.dram_bandwidth
+
+    def test_residency_fraction_shrinks_effective_capacity(self):
+        generous = MemorySystem(A100_80GB, residency_fraction=1.0)
+        strict = MemorySystem(A100_80GB, residency_fraction=0.5)
+        at_30mb = 30e6  # fits full L2 (40 MB) but not half of it
+        assert generous.residence_bandwidth(at_30mb) > (
+            strict.residence_bandwidth(at_30mb)
+        )
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySystem(A100_80GB, residency_fraction=0.0)
+        with pytest.raises(ValueError):
+            MemorySystem(A100_80GB, residency_fraction=1.5)
+
+
+class TestLineUtilization:
+    def test_contiguous_uses_full_lines(self, memory):
+        assert memory.line_utilization(CONTIGUOUS) == 1.0
+
+    def test_huge_stride_wastes_lines(self, memory):
+        pattern = AccessPattern(
+            working_set_bytes=1e9,
+            element_stride_bytes=4096,
+            element_bytes=2,
+        )
+        assert memory.line_utilization(pattern) == pytest.approx(2 / 128)
+
+    def test_utilization_bounded_by_one(self, memory):
+        pattern = AccessPattern(
+            working_set_bytes=1e9,
+            element_stride_bytes=4,
+            element_bytes=2,
+        )
+        assert 0.0 < memory.line_utilization(pattern) <= 1.0
+
+
+class TestStreamingTime:
+    def test_zero_bytes_is_free(self, memory):
+        assert memory.streaming_time(0.0, CONTIGUOUS) == 0.0
+
+    def test_negative_bytes_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.streaming_time(-1.0, CONTIGUOUS)
+
+    def test_dram_stream_time(self, memory):
+        pattern = AccessPattern(working_set_bytes=1e9)
+        time_s = memory.streaming_time(2.039e12, pattern)
+        assert time_s == pytest.approx(1.0)
+
+    def test_strided_stream_slower_than_contiguous(self, memory):
+        contiguous = AccessPattern(working_set_bytes=1e9)
+        strided = AccessPattern(
+            working_set_bytes=1e9,
+            element_stride_bytes=4096,
+            element_bytes=2,
+        )
+        assert memory.streaming_time(1e8, strided) > memory.streaming_time(
+            1e8, contiguous
+        )

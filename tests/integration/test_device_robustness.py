@@ -1,0 +1,71 @@
+"""The paper's qualitative conclusions are not A100 artifacts.
+
+Re-run the key comparisons on an H100 and a V100: the operator-mix and
+prefill/decode conclusions should survive a ~3x device range, because
+they are set by workload shape, not by one machine's constants.
+"""
+
+import pytest
+
+from repro.hw.spec import H100_80GB, V100_32GB
+from repro.ir.context import AttentionImpl
+from repro.ir.ops import OpCategory
+from repro.models.muse import Muse, MuseConfig
+from repro.models.stable_diffusion import (
+    StableDiffusion,
+    StableDiffusionConfig,
+)
+from repro.profiler.breakdown import breakdown, speedup_report
+from repro.profiler.profiler import profile_both, profile_model
+
+
+@pytest.fixture(scope="module", params=[H100_80GB, V100_32GB])
+def gpu(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def sd_profiles(gpu):
+    model = StableDiffusion(StableDiffusionConfig(denoising_steps=4))
+    return profile_both(model, gpu=gpu)
+
+
+class TestDeviceRobustness:
+    def test_flash_attention_still_wins(self, sd_profiles):
+        baseline, flash = sd_profiles
+        report = speedup_report(baseline.trace, flash.trace)
+        assert report.end_to_end_speedup > 1.2
+
+    def test_conv_still_dominates_diffusion_after_flash(
+        self, sd_profiles
+    ):
+        _, flash = sd_profiles
+        assert breakdown(flash.trace).dominant_category() is (
+            OpCategory.CONV
+        )
+
+    def test_attention_share_drops_with_flash(self, sd_profiles):
+        baseline, flash = sd_profiles
+        assert breakdown(flash.trace).fraction(OpCategory.ATTENTION) < (
+            breakdown(baseline.trace).fraction(OpCategory.ATTENTION)
+        )
+
+    def test_transformer_tti_stays_attention_linear(self, gpu):
+        model = Muse(MuseConfig(base_steps=4, sr_steps=1))
+        result = profile_model(
+            model, gpu=gpu, attention_impl=AttentionImpl.FLASH
+        )
+        shares = breakdown(result.trace)
+        top = shares.dominant_category()
+        assert top in (OpCategory.ATTENTION, OpCategory.LINEAR)
+
+    def test_faster_device_shorter_run(self, sd_profiles, gpu):
+        baseline, _ = sd_profiles
+        from repro.hw.spec import A100_80GB
+
+        model = StableDiffusion(StableDiffusionConfig(denoising_steps=4))
+        a100 = profile_model(model, gpu=A100_80GB)
+        if gpu is H100_80GB:
+            assert baseline.total_time_s < a100.total_time_s
+        else:  # V100
+            assert baseline.total_time_s > a100.total_time_s

@@ -1,0 +1,137 @@
+"""Headline paper claims, asserted end-to-end from the model suite.
+
+These are the integration-level guarantees of the reproduction: each
+test corresponds to a bolded observation in the paper's introduction.
+"""
+
+import pytest
+
+from repro.experiments.table2_speedup import PAPER_SPEEDUPS, measured_speedups
+from repro.ir.ops import OpCategory
+from repro.profiler.breakdown import (
+    breakdown,
+    speedup_report,
+    temporal_spatial_report,
+)
+from repro.profiler.seqlen import sequence_length_distribution
+
+
+@pytest.fixture(scope="module")
+def speedups():
+    return measured_speedups()
+
+
+class TestTable2:
+    def test_all_within_tolerance(self, speedups):
+        for name, value in speedups.items():
+            assert abs(value - PAPER_SPEEDUPS[name]) <= 0.12, (
+                f"{name}: measured {value:.3f}, paper "
+                f"{PAPER_SPEEDUPS[name]}"
+            )
+
+    def test_stable_diffusion_benefits_most(self, speedups):
+        assert max(speedups, key=speedups.get) == "stable_diffusion"
+
+    def test_production_model_benefits_least(self, speedups):
+        bottom_two = sorted(speedups, key=speedups.get)[:2]
+        assert set(bottom_two) == {"prod_image", "make_a_video"}
+
+
+class TestConvolutionBottleneck:
+    """'Convolution accounts for up to 44% of execution time for
+    Diffusion-based TTI models' after Flash Attention."""
+
+    def test_conv_dominates_diffusion_after_flash(self, suite_profiles):
+        for name in ("imagen", "stable_diffusion", "prod_image"):
+            _, flash = suite_profiles[name]
+            result = breakdown(flash.trace)
+            assert result.dominant_category() is OpCategory.CONV, name
+
+    def test_linear_dominates_transformer_tti(self, suite_profiles):
+        for name in ("muse", "parti"):
+            _, flash = suite_profiles[name]
+            result = breakdown(flash.trace)
+            times = result.time_by_category
+            top_two = sorted(times, key=times.get, reverse=True)[:2]
+            assert OpCategory.LINEAR in top_two, name
+
+    def test_attention_shift_is_diffusion_specific(self, suite_profiles):
+        _, sd_flash = suite_profiles["stable_diffusion"]
+        _, llama_flash = suite_profiles["llama"]
+        sd_attention = breakdown(sd_flash.trace).fraction(
+            OpCategory.ATTENTION
+        )
+        llama_attention = breakdown(llama_flash.trace).fraction(
+            OpCategory.ATTENTION
+        )
+        assert llama_attention > 1.5 * sd_attention
+
+
+class TestPrefillDecodeCorrespondence:
+    """Diffusion resembles prefill; transformer TTI resembles decode."""
+
+    def test_diffusion_module_speedup_greater(self, suite_profiles):
+        def module_speedup(name):
+            baseline, flash = suite_profiles[name]
+            return speedup_report(
+                baseline.trace, flash.trace
+            ).attention_module_speedup
+
+        diffusion = [
+            module_speedup(name)
+            for name in ("imagen", "stable_diffusion", "prod_image",
+                          "make_a_video")
+        ]
+        transformer = [
+            module_speedup(name) for name in ("muse", "parti", "phenaki")
+        ]
+        ratio = (sum(diffusion) / len(diffusion)) / (
+            sum(transformer) / len(transformer)
+        )
+        assert 1.1 <= ratio <= 2.5
+
+
+class TestSequenceLengthVariability:
+    """'Sequence length can vary up to 4x in Diffusion model
+    inference' (and peaks at 4096 for SD at 512px)."""
+
+    def test_sd_dynamic_range(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        dist = sequence_length_distribution(baseline.trace)
+        assert dist.dynamic_range >= 4.0
+        assert dist.max_length == 4096
+
+    def test_llm_sequence_is_static_per_phase(self, suite_profiles):
+        baseline, _ = suite_profiles["llama"]
+        prefill = baseline.trace.filter(
+            lambda event: event.module_path.startswith("prefill")
+        )
+        dist = sequence_length_distribution(prefill)
+        assert dist.dynamic_range == 1.0
+
+
+class TestTemporalBottleneck:
+    """'Temporal Attention takes 2x the execution time of Spatial
+    Attention, yet consumes 9x fewer FLOPs.'"""
+
+    def test_flop_deficit(self, suite_profiles):
+        baseline, _ = suite_profiles["make_a_video"]
+        report = temporal_spatial_report(baseline.trace)
+        assert 6.0 <= report.flop_ratio <= 14.0
+
+    def test_time_excess_in_optimized_config(self, suite_profiles):
+        _, flash = suite_profiles["make_a_video"]
+        report = temporal_spatial_report(flash.trace)
+        assert 1.5 <= report.time_ratio <= 2.8
+
+    def test_temporal_slower_per_flop_always(self, suite_profiles):
+        for result_index in (0, 1):
+            trace = suite_profiles["make_a_video"][result_index].trace
+            report = temporal_spatial_report(trace)
+            spatial_per_flop = (
+                report.spatial_time_s / report.spatial_matmul_flops
+            )
+            temporal_per_flop = (
+                report.temporal_time_s / report.temporal_matmul_flops
+            )
+            assert temporal_per_flop > 3 * spatial_per_flop

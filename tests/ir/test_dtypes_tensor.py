@@ -1,0 +1,101 @@
+"""Dtype and TensorSpec tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.dtypes import BOOL, FP16, FP32, INT8, dtype_from_name
+from repro.ir.tensor import TensorSpec, tensor
+
+
+class TestDtypes:
+    def test_sizes(self):
+        assert FP16.size == 2
+        assert FP32.size == 4
+        assert INT8.size == 1
+
+    def test_bits(self):
+        assert FP16.bits == 16
+
+    def test_tensor_core_eligibility(self):
+        assert FP16.tensor_core
+        assert not FP32.tensor_core
+        assert not BOOL.tensor_core
+
+    def test_lookup_by_name(self):
+        assert dtype_from_name("fp16") is FP16
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            dtype_from_name("fp4")
+
+    def test_str(self):
+        assert str(FP16) == "fp16"
+
+
+class TestTensorSpec:
+    def test_numel_and_bytes(self):
+        spec = tensor(2, 3, 4)
+        assert spec.numel == 24
+        assert spec.bytes == 48  # fp16 default
+
+    def test_scalar(self):
+        spec = TensorSpec(())
+        assert spec.numel == 1
+        assert spec.rank == 0
+
+    def test_rank(self):
+        assert tensor(1, 4, 64, 64).rank == 4
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            tensor(2, 0, 4)
+
+    def test_rejects_negative_dim(self):
+        with pytest.raises(ValueError):
+            tensor(-1, 4)
+
+    def test_with_shape_keeps_dtype(self):
+        spec = tensor(2, 4, dtype=FP32)
+        reshaped = spec.with_shape(8)
+        assert reshaped.dtype is FP32
+        assert reshaped.shape == (8,)
+
+    def test_reshape_validates_numel(self):
+        spec = tensor(2, 4)
+        assert spec.reshape(8).numel == 8
+        with pytest.raises(ValueError, match="cannot reshape"):
+            spec.reshape(9)
+
+    def test_str_format(self):
+        assert str(tensor(2, 4)) == "2x4:fp16"
+
+    def test_bytes_respect_dtype(self):
+        assert tensor(10, dtype=FP32).bytes == 40
+
+
+@given(
+    dims=st.lists(
+        st.integers(min_value=1, max_value=64), min_size=1, max_size=4
+    )
+)
+def test_numel_is_product_of_dims(dims):
+    spec = TensorSpec(tuple(dims))
+    product = 1
+    for dim in dims:
+        product *= dim
+    assert spec.numel == product
+    assert spec.bytes == product * 2
+
+
+@given(
+    dims=st.lists(
+        st.integers(min_value=1, max_value=16), min_size=1, max_size=4
+    )
+)
+def test_flatten_roundtrip_preserves_numel(dims):
+    spec = TensorSpec(tuple(dims))
+    flat = spec.reshape(spec.numel)
+    assert flat.numel == spec.numel
+    back = flat.reshape(*dims)
+    assert back.shape == spec.shape

@@ -1,0 +1,306 @@
+"""Operator FLOPs/bytes accounting tests — hand-checked formulas."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.dtypes import FP32
+from repro.ir.ops import (
+    AttentionInfo,
+    AttentionKind,
+    AttentionRole,
+    Conv2d,
+    Conv3d,
+    Elementwise,
+    Embedding,
+    FusedAttention,
+    Gemm,
+    GroupNorm,
+    LayerNorm,
+    OpCategory,
+    Resample,
+    Softmax,
+    Transpose,
+)
+
+
+class TestGemm:
+    def test_flops(self):
+        op = Gemm("g", m=4, n=8, k=16)
+        assert op.flops() == 2 * 4 * 8 * 16
+
+    def test_batched_flops(self):
+        op = Gemm("g", m=4, n=8, k=16, batch=3)
+        assert op.flops() == 3 * 2 * 4 * 8 * 16
+
+    def test_weight_operand_read_once(self):
+        batched = Gemm("g", m=4, n=8, k=16, batch=3, b_is_weight=True)
+        activations = 3 * 4 * 16 * 2
+        weight = 16 * 8 * 2
+        assert batched.read_bytes() == activations + weight
+
+    def test_non_weight_operand_read_per_batch(self):
+        op = Gemm("g", m=4, n=8, k=16, batch=3, b_is_weight=False)
+        assert op.read_bytes() == (3 * 4 * 16 + 3 * 16 * 8) * 2
+
+    def test_write_bytes(self):
+        assert Gemm("g", m=4, n=8, k=16).write_bytes() == 4 * 8 * 2
+
+    def test_param_bytes_only_for_weights(self):
+        assert Gemm("g", m=4, n=8, k=16).param_bytes() == 0
+        assert (
+            Gemm("g", m=4, n=8, k=16, b_is_weight=True).param_bytes()
+            == 16 * 8 * 2
+        )
+
+    def test_default_category_linear(self):
+        assert Gemm("g", m=1, n=1, k=1).category is OpCategory.LINEAR
+
+    def test_category_override(self):
+        op = Gemm(
+            "g", m=1, n=1, k=1, category_override=OpCategory.ATTENTION
+        )
+        assert op.category is OpCategory.ATTENTION
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            Gemm("g", m=0, n=1, k=1)
+
+    def test_fp32_doubles_bytes(self):
+        fp16 = Gemm("g", m=4, n=8, k=16)
+        fp32 = Gemm("g", m=4, n=8, k=16, dtype=FP32)
+        assert fp32.total_bytes() == 2 * fp16.total_bytes()
+
+
+class TestConv2d:
+    def test_flops_formula(self):
+        op = Conv2d(
+            "c", batch=2, in_channels=3, out_channels=8, h=16, w=16,
+            kh=3, kw=3,
+        )
+        assert op.flops() == 2 * 2 * 16 * 16 * (8 * 3 * 3 * 3)
+
+    def test_stride_reduces_output(self):
+        op = Conv2d(
+            "c", batch=1, in_channels=4, out_channels=4, h=16, w=16,
+            stride=2,
+        )
+        assert op.out_h == 8 and op.out_w == 8
+
+    def test_groups_divide_weight(self):
+        grouped = Conv2d(
+            "c", batch=1, in_channels=8, out_channels=8, h=4, w=4,
+            groups=2,
+        )
+        dense = Conv2d(
+            "c", batch=1, in_channels=8, out_channels=8, h=4, w=4,
+        )
+        assert grouped.weight_count() == dense.weight_count() // 2
+
+    def test_groups_must_divide_channels(self):
+        with pytest.raises(ValueError):
+            Conv2d(
+                "c", batch=1, in_channels=7, out_channels=8, h=4, w=4,
+                groups=2,
+            )
+
+    def test_category(self):
+        op = Conv2d("c", batch=1, in_channels=1, out_channels=1, h=1, w=1)
+        assert op.category is OpCategory.CONV
+
+    def test_param_bytes(self):
+        op = Conv2d(
+            "c", batch=1, in_channels=4, out_channels=8, h=4, w=4
+        )
+        assert op.param_bytes() == 4 * 8 * 9 * 2
+
+
+class TestConv3d:
+    def test_flops_scale_with_frames(self):
+        small = Conv3d(
+            "c", batch=1, in_channels=4, out_channels=4, frames=4,
+            h=8, w=8,
+        )
+        big = Conv3d(
+            "c", batch=1, in_channels=4, out_channels=4, frames=8,
+            h=8, w=8,
+        )
+        assert big.flops() == 2 * small.flops()
+
+    def test_temporal_only_kernel(self):
+        op = Conv3d(
+            "c", batch=1, in_channels=4, out_channels=4, frames=8,
+            h=8, w=8, kt=3, kh=1, kw=1,
+        )
+        assert op.weight_count() == 4 * 4 * 3
+
+
+class TestSoftmax:
+    def test_flops(self):
+        assert Softmax("s", rows=4, cols=8).flops() == 5 * 32
+
+    def test_two_read_passes_one_write(self):
+        op = Softmax("s", rows=4, cols=8)
+        assert op.read_bytes() == 2 * 32 * 2
+        assert op.write_bytes() == 32 * 2
+
+    def test_category_attention(self):
+        assert Softmax("s", rows=1, cols=1).category is OpCategory.ATTENTION
+
+
+class TestNorms:
+    def test_groupnorm_numel(self):
+        op = GroupNorm("g", batch=2, channels=32, spatial=64)
+        assert op.numel == 2 * 32 * 64
+
+    def test_groupnorm_params(self):
+        assert GroupNorm(
+            "g", batch=1, channels=32, spatial=4
+        ).param_bytes() == 2 * 32 * 2
+
+    def test_layernorm_params(self):
+        assert LayerNorm("l", rows=4, cols=64).param_bytes() == 2 * 64 * 2
+
+    def test_categories(self):
+        assert GroupNorm(
+            "g", batch=1, channels=1, spatial=1
+        ).category is OpCategory.GROUPNORM
+        assert LayerNorm("l", rows=1, cols=1).category is OpCategory.NORM
+
+
+class TestElementwise:
+    def test_two_input_add(self):
+        op = Elementwise("add", numel=100, inputs=2)
+        assert op.read_bytes() == 2 * 100 * 2
+        assert op.write_bytes() == 100 * 2
+
+    def test_flops_per_element(self):
+        op = Elementwise("gelu", numel=10, flops_per_element=8.0)
+        assert op.flops() == 80.0
+
+
+class TestEmbedding:
+    def test_gather_traffic(self):
+        op = Embedding("e", tokens=16, dim=64)
+        assert op.read_bytes() == op.write_bytes() == 16 * 64 * 2
+
+    def test_no_flops(self):
+        assert Embedding("e", tokens=1, dim=1).flops() == 0.0
+
+    def test_param_bytes_cover_vocab(self):
+        assert Embedding(
+            "e", tokens=1, dim=8, vocab=100
+        ).param_bytes() == 100 * 8 * 2
+
+
+class TestResampleTranspose:
+    def test_upsample_write_exceeds_read(self):
+        op = Resample(
+            "u", batch=1, channels=4, in_h=8, in_w=8, out_h=16, out_w=16
+        )
+        assert op.write_bytes() == 4 * op.read_bytes()
+
+    def test_transpose_copies_once(self):
+        op = Transpose("t", numel=100)
+        assert op.read_bytes() == op.write_bytes() == 200
+
+    def test_transpose_category_override(self):
+        op = Transpose(
+            "t", numel=10, category_override=OpCategory.ATTENTION
+        )
+        assert op.category is OpCategory.ATTENTION
+
+
+class TestFusedAttention:
+    def test_matmul_flops_dominate(self):
+        op = FusedAttention(
+            "f", batch=2, seq_q=64, seq_kv=64, head_dim=32, num_heads=4
+        )
+        pairs = 2 * 4 * 64 * 64
+        assert op.flops() == 4 * pairs * 32 + 5 * pairs
+
+    def test_causal_halves_flops_when_square(self):
+        full = FusedAttention(
+            "f", batch=1, seq_q=64, seq_kv=64, head_dim=32, num_heads=1
+        )
+        causal = FusedAttention(
+            "f", batch=1, seq_q=64, seq_kv=64, head_dim=32, num_heads=1,
+            causal=True,
+        )
+        assert causal.flops() == pytest.approx(full.flops() / 2)
+
+    def test_causal_irrelevant_when_rectangular(self):
+        causal = FusedAttention(
+            "f", batch=1, seq_q=1, seq_kv=64, head_dim=32, num_heads=1,
+            causal=True,
+        )
+        full = FusedAttention(
+            "f", batch=1, seq_q=1, seq_kv=64, head_dim=32, num_heads=1
+        )
+        assert causal.flops() == full.flops()
+
+    def test_io_is_linear_in_seq(self):
+        short = FusedAttention(
+            "f", batch=1, seq_q=64, seq_kv=64, head_dim=32, num_heads=1
+        )
+        long = FusedAttention(
+            "f", batch=1, seq_q=128, seq_kv=128, head_dim=32, num_heads=1
+        )
+        assert long.total_bytes() == 2 * short.total_bytes()
+
+    def test_arithmetic_intensity_grows_with_seq(self):
+        short = FusedAttention(
+            "f", batch=1, seq_q=64, seq_kv=64, head_dim=32, num_heads=1
+        )
+        long = FusedAttention(
+            "f", batch=1, seq_q=1024, seq_kv=1024, head_dim=32,
+            num_heads=1,
+        )
+        assert long.arithmetic_intensity() > short.arithmetic_intensity()
+
+
+class TestAttentionInfo:
+    def test_carries_layout_stride(self):
+        info = AttentionInfo(
+            role=AttentionRole.SELF,
+            kind=AttentionKind.TEMPORAL,
+            seq_q=16,
+            seq_kv=16,
+            head_dim=64,
+            num_heads=8,
+            batch=4096,
+            element_stride_bytes=512 * 1024,
+        )
+        assert info.element_stride_bytes == 512 * 1024
+
+
+@given(
+    m=st.integers(1, 512),
+    n=st.integers(1, 512),
+    k=st.integers(1, 512),
+    batch=st.integers(1, 8),
+)
+def test_gemm_intensity_bounded_by_dims(m, n, k, batch):
+    """AI of a GEMM never exceeds min(m, n, k) (classic bound)."""
+    op = Gemm("g", m=m, n=n, k=k, batch=batch)
+    intensity = op.flops() / op.total_bytes()
+    assert intensity <= min(m, n, k) + 1e-9
+
+
+@given(
+    seq=st.integers(1, 2048),
+    heads=st.integers(1, 16),
+    head_dim=st.sampled_from([32, 64, 128]),
+)
+def test_fused_attention_flops_quadratic_in_seq(seq, heads, head_dim):
+    small = FusedAttention(
+        "f", batch=1, seq_q=seq, seq_kv=seq, head_dim=head_dim,
+        num_heads=heads,
+    )
+    double = FusedAttention(
+        "f", batch=1, seq_q=2 * seq, seq_kv=2 * seq, head_dim=head_dim,
+        num_heads=heads,
+    )
+    assert math.isclose(double.flops(), 4 * small.flops(), rel_tol=1e-9)

@@ -1,0 +1,142 @@
+"""Flash-vs-baseline attention kernel behaviour: the Section IV-B
+mechanism (prefill shapes gain, decode shapes don't)."""
+
+import pytest
+
+from repro.hw.spec import A100_80GB
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.ops import AttentionKind, AttentionRole, FusedAttention
+from repro.kernels.flash_attention import FlashAttentionCostModel
+from repro.layers.attention import emit_attention_core
+
+
+def attention_time(
+    impl: AttentionImpl,
+    seq_q: int,
+    seq_kv: int,
+    *,
+    batch: int = 8,
+    heads: int = 8,
+    head_dim: int = 64,
+    causal: bool = False,
+) -> float:
+    ctx = ExecutionContext(attention_impl=impl)
+    emit_attention_core(
+        ctx,
+        batch=batch,
+        num_heads=heads,
+        seq_q=seq_q,
+        seq_kv=seq_kv,
+        head_dim=head_dim,
+        role=AttentionRole.SELF,
+        kind=AttentionKind.TOKEN,
+        causal=causal,
+    )
+    return ctx.trace.total_time_s
+
+
+def speedup(seq_q: int, seq_kv: int, **kwargs) -> float:
+    return attention_time(
+        AttentionImpl.BASELINE, seq_q, seq_kv, **kwargs
+    ) / attention_time(AttentionImpl.FLASH, seq_q, seq_kv, **kwargs)
+
+
+class TestFlashSpeedupShape:
+    def test_long_sequences_gain_a_lot(self):
+        assert speedup(4096, 4096) > 3.0
+
+    def test_decode_shape_gains_little(self):
+        assert speedup(1, 4096) < 1.8
+
+    def test_prefill_gains_more_than_decode(self):
+        assert speedup(4096, 4096) > 2 * speedup(1, 4096)
+
+    def test_speedup_grows_with_sequence(self):
+        gains = [speedup(n, n) for n in (256, 1024, 4096)]
+        assert gains == sorted(gains)
+
+    def test_kernel_count_reduction(self):
+        baseline = ExecutionContext()
+        emit_attention_core(
+            baseline, batch=1, num_heads=8, seq_q=128, seq_kv=128,
+            head_dim=64, role=AttentionRole.SELF,
+            kind=AttentionKind.TOKEN,
+        )
+        flash = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+        emit_attention_core(
+            flash, batch=1, num_heads=8, seq_q=128, seq_kv=128,
+            head_dim=64, role=AttentionRole.SELF,
+            kind=AttentionKind.TOKEN,
+        )
+        assert len(baseline.trace) == 4  # QK, scale, softmax, PV
+        assert len(flash.trace) == 1
+
+    def test_causal_baseline_adds_mask_kernel(self):
+        ctx = ExecutionContext()
+        emit_attention_core(
+            ctx, batch=1, num_heads=8, seq_q=128, seq_kv=128,
+            head_dim=64, role=AttentionRole.SELF,
+            kind=AttentionKind.TOKEN, causal=True,
+        )
+        assert len(ctx.trace) == 5
+
+    def test_exactly_one_anchor_per_call(self):
+        for impl in AttentionImpl:
+            ctx = ExecutionContext(attention_impl=impl)
+            emit_attention_core(
+                ctx, batch=1, num_heads=4, seq_q=64, seq_kv=64,
+                head_dim=32, role=AttentionRole.SELF,
+                kind=AttentionKind.TOKEN,
+            )
+            assert len(ctx.trace.attention_anchors()) == 1
+
+    def test_flops_preserved_between_impls(self):
+        """Flash keeps matmul FLOPs; baseline adds scale-pass FLOPs."""
+        base_ctx = ExecutionContext()
+        emit_attention_core(
+            base_ctx, batch=2, num_heads=4, seq_q=256, seq_kv=256,
+            head_dim=64, role=AttentionRole.SELF,
+            kind=AttentionKind.TOKEN,
+        )
+        flash_ctx = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+        emit_attention_core(
+            flash_ctx, batch=2, num_heads=4, seq_q=256, seq_kv=256,
+            head_dim=64, role=AttentionRole.SELF,
+            kind=AttentionKind.TOKEN,
+        )
+        matmul = 4 * 2 * 4 * 256 * 256 * 64
+        assert base_ctx.trace.total_flops >= matmul
+        assert flash_ctx.trace.total_flops >= matmul
+        assert flash_ctx.trace.total_moved_bytes < (
+            base_ctx.trace.total_moved_bytes / 5
+        )
+
+
+class TestFlashUtilization:
+    @pytest.fixture
+    def model(self):
+        return FlashAttentionCostModel(A100_80GB)
+
+    def test_long_seq_high_utilization(self, model):
+        op = FusedAttention(
+            "f", batch=8, seq_q=4096, seq_kv=4096, head_dim=64,
+            num_heads=8,
+        )
+        assert model.utilization(op) > 0.5
+
+    def test_single_query_low_utilization(self, model):
+        op = FusedAttention(
+            "f", batch=1, seq_q=1, seq_kv=4096, head_dim=64, num_heads=8
+        )
+        assert model.utilization(op) < 0.01
+
+    def test_small_head_dim_derates(self, model):
+        wide = FusedAttention(
+            "f", batch=8, seq_q=2048, seq_kv=2048, head_dim=64,
+            num_heads=8,
+        )
+        narrow = FusedAttention(
+            "f", batch=8, seq_q=2048, seq_kv=2048, head_dim=32,
+            num_heads=8,
+        )
+        assert model.utilization(narrow) < model.utilization(wide)

@@ -1,0 +1,91 @@
+"""Convolution cost model tests."""
+
+import pytest
+
+from repro.hw.spec import A100_80GB
+from repro.ir.ops import Conv2d, Conv3d
+from repro.kernels.conv import ConvCostModel
+
+
+@pytest.fixture
+def model():
+    return ConvCostModel(A100_80GB)
+
+
+def sd_conv(batch=2, ch=320, size=64) -> Conv2d:
+    return Conv2d(
+        "c", batch=batch, in_channels=ch, out_channels=ch, h=size, w=size
+    )
+
+
+class TestImplicitGemm:
+    def test_2d_dims(self, model):
+        op = sd_conv()
+        m, n, k = model._implicit_gemm_dims(op)
+        assert m == 2 * 64 * 64
+        assert n == 320
+        assert k == 320 * 9
+
+    def test_3d_dims_include_frames(self, model):
+        op = Conv3d(
+            "c", batch=1, in_channels=64, out_channels=64, frames=16,
+            h=32, w=32,
+        )
+        m, n, k = model._implicit_gemm_dims(op)
+        assert m == 16 * 32 * 32
+        assert k == 64 * 27
+
+    def test_grouped_conv_shrinks_k(self, model):
+        grouped = Conv2d(
+            "c", batch=1, in_channels=64, out_channels=64, h=8, w=8,
+            groups=4,
+        )
+        _, _, k = model._implicit_gemm_dims(grouped)
+        assert k == (64 // 4) * 9
+
+
+class TestTiming:
+    def test_unet_conv_is_compute_bound(self, model):
+        cost = model.estimate(sd_conv())
+        assert cost.limiter == "compute"
+
+    def test_cost_scales_with_resolution(self, model):
+        small = model.estimate(sd_conv(size=32))
+        large = model.estimate(sd_conv(size=64))
+        assert large.time_s > 1.8 * small.time_s
+
+    def test_stride_two_quarters_flops(self, model):
+        dense = Conv2d(
+            "c", batch=1, in_channels=64, out_channels=64, h=64, w=64
+        )
+        strided = Conv2d(
+            "c", batch=1, in_channels=64, out_channels=64, h=64, w=64,
+            stride=2,
+        )
+        assert strided.flops() == pytest.approx(dense.flops() / 4)
+
+    def test_1x1_conv_cheaper_than_3x3(self, model):
+        k3 = model.estimate(sd_conv())
+        k1 = model.estimate(
+            Conv2d(
+                "c", batch=2, in_channels=320, out_channels=320, h=64,
+                w=64, kh=1, kw=1,
+            )
+        )
+        assert k1.time_s < k3.time_s
+
+    def test_temporal_conv_scales_with_frames(self, model):
+        def temporal(frames):
+            return model.estimate(
+                Conv3d(
+                    "c", batch=1, in_channels=256, out_channels=256,
+                    frames=frames, h=32, w=32, kt=3, kh=1, kw=1,
+                )
+            )
+
+        assert temporal(32).time_s > 1.5 * temporal(16).time_s
+
+    def test_conv_utilization_below_gemm_base(self, model):
+        # Conv base utilization constant is lower than GEMM's.
+        op = sd_conv()
+        assert model.utilization(op) <= model.tuning.gemm_base_utilization

@@ -1,0 +1,159 @@
+"""CostEstimator dispatch and TuningConstants effect tests."""
+
+import pytest
+
+from repro.hw.spec import A100_80GB
+from repro.ir.ops import (
+    AttentionInfo,
+    AttentionKind,
+    AttentionRole,
+    Conv2d,
+    Conv3d,
+    Elementwise,
+    Embedding,
+    FusedAttention,
+    Gemm,
+    GroupNorm,
+    LayerNorm,
+    Op,
+    Resample,
+    Softmax,
+    Transpose,
+)
+from repro.kernels.base import TuningConstants
+from repro.kernels.estimator import CostEstimator
+
+
+@pytest.fixture
+def estimator():
+    return CostEstimator(A100_80GB)
+
+
+ALL_OPS = [
+    Gemm("g", m=64, n=64, k=64),
+    Conv2d("c", batch=1, in_channels=8, out_channels=8, h=16, w=16),
+    Conv3d(
+        "c3", batch=1, in_channels=8, out_channels=8, frames=4, h=8, w=8
+    ),
+    Softmax("s", rows=64, cols=64),
+    GroupNorm("gn", batch=1, channels=32, spatial=64),
+    LayerNorm("ln", rows=16, cols=64),
+    Elementwise("e", numel=256),
+    Embedding("emb", tokens=16, dim=64),
+    Resample("r", batch=1, channels=4, in_h=8, in_w=8, out_h=16, out_w=16),
+    Transpose("t", numel=256),
+    FusedAttention(
+        "f", batch=1, seq_q=64, seq_kv=64, head_dim=64, num_heads=2
+    ),
+]
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "op", ALL_OPS, ids=[type(op).__name__ for op in ALL_OPS]
+    )
+    def test_every_op_type_costed(self, estimator, op):
+        cost = estimator.estimate(op)
+        assert cost.time_s > 0
+        assert cost.flops == op.flops()
+
+    def test_unknown_op_rejected(self, estimator):
+        class Mystery(Op):
+            pass
+
+        with pytest.raises(TypeError, match="no cost model"):
+            estimator.estimate(Mystery("m"))
+
+
+def _temporal_softmax() -> Softmax:
+    info = AttentionInfo(
+        role=AttentionRole.SELF,
+        kind=AttentionKind.TEMPORAL,
+        seq_q=16,
+        seq_kv=16,
+        head_dim=64,
+        num_heads=8,
+        batch=4096,
+    )
+    return Softmax("s", rows=4096 * 8 * 16, cols=16, attention=info)
+
+
+class TestTuningEffects:
+    def test_temporal_locality_derate_slows_temporal_kernels(self):
+        fast = CostEstimator(
+            A100_80GB, TuningConstants(temporal_locality_derate=1.0)
+        )
+        slow = CostEstimator(
+            A100_80GB, TuningConstants(temporal_locality_derate=8.0)
+        )
+        op = _temporal_softmax()
+        assert slow.estimate(op).time_s > 2 * fast.estimate(op).time_s
+
+    def test_derate_leaves_spatial_kernels_alone(self):
+        plain = Softmax("s", rows=4096 * 8 * 16, cols=16)
+        a = CostEstimator(
+            A100_80GB, TuningConstants(temporal_locality_derate=1.0)
+        )
+        b = CostEstimator(
+            A100_80GB, TuningConstants(temporal_locality_derate=8.0)
+        )
+        assert a.estimate(plain).time_s == pytest.approx(
+            b.estimate(plain).time_s
+        )
+
+    def test_norm_derate_applies_below_threshold(self):
+        small = GroupNorm("g", batch=2, channels=320, spatial=4096)
+        assert small.total_bytes() < 256e6
+        with_derate = CostEstimator(
+            A100_80GB, TuningConstants(norm_bandwidth_derate=2.0)
+        )
+        without = CostEstimator(
+            A100_80GB, TuningConstants(norm_bandwidth_derate=1.0)
+        )
+        assert with_derate.estimate(small).memory_time_s == pytest.approx(
+            2 * without.estimate(small).memory_time_s
+        )
+
+    def test_norm_derate_skipped_above_threshold(self):
+        huge = GroupNorm("g", batch=76, channels=64, spatial=768 * 768)
+        assert huge.total_bytes() > 256e6
+        with_derate = CostEstimator(
+            A100_80GB, TuningConstants(norm_bandwidth_derate=2.0)
+        )
+        without = CostEstimator(
+            A100_80GB, TuningConstants(norm_bandwidth_derate=1.0)
+        )
+        assert with_derate.estimate(huge).memory_time_s == pytest.approx(
+            without.estimate(huge).memory_time_s
+        )
+
+    def test_launch_overhead_scales_with_gpu_constant(self):
+        slow_launch = A100_80GB.with_launch_overhead(20e-6)
+        cost = CostEstimator(slow_launch).estimate(
+            Elementwise("e", numel=16)
+        )
+        assert cost.launch_time_s == pytest.approx(20e-6)
+
+    def test_residency_fraction_changes_cache_cliff(self):
+        # A 30 MB softmax working set fits full L2 but not half of it.
+        op = Softmax("s", rows=1200, cols=4096)
+        assert 20e6 < op.total_bytes() < 40e6
+        generous = CostEstimator(
+            A100_80GB, TuningConstants(l2_residency_fraction=1.0)
+        )
+        strict = CostEstimator(
+            A100_80GB, TuningConstants(l2_residency_fraction=0.5)
+        )
+        assert strict.estimate(op).memory_time_s > (
+            generous.estimate(op).memory_time_s
+        )
+
+    def test_min_utilization_floor(self):
+        floor = CostEstimator(
+            A100_80GB, TuningConstants(min_utilization=0.5)
+        )
+        default = CostEstimator(A100_80GB)
+        op = Gemm("g", m=1, n=64, k=64)
+        assert floor.estimate(op).compute_time_s < default.estimate(
+            op
+        ).compute_time_s

@@ -1,0 +1,133 @@
+"""GEMM cost model tests: the shape effects behind the paper's
+prefill/decode asymmetry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.spec import A100_80GB
+from repro.ir.dtypes import FP32
+from repro.ir.ops import Gemm
+from repro.kernels.base import tile_quantization, wave_efficiency
+from repro.kernels.gemm import GemmCostModel
+
+
+@pytest.fixture
+def model():
+    return GemmCostModel(A100_80GB)
+
+
+class TestTileQuantization:
+    def test_exact_tiles_are_free(self):
+        assert tile_quantization(128, 128, 32, 128, 128, 32) == 1.0
+
+    def test_decode_row_wastes_tile(self):
+        assert tile_quantization(1, 128, 32, 128, 128, 32) == pytest.approx(
+            1 / 128
+        )
+
+    def test_multiple_exact_tiles(self):
+        assert tile_quantization(256, 256, 64, 128, 128, 32) == 1.0
+
+    def test_partial_tile_fraction(self):
+        assert tile_quantization(
+            192, 128, 32, 128, 128, 32
+        ) == pytest.approx(192 / 256)
+
+
+class TestWaveEfficiency:
+    def test_full_wave(self):
+        assert wave_efficiency(108, 108) == 1.0
+
+    def test_single_cta_underfills(self):
+        assert wave_efficiency(1, 108) == pytest.approx(1 / 108)
+
+    def test_partial_second_wave(self):
+        assert wave_efficiency(109, 108) == pytest.approx(109 / 216)
+
+    def test_zero_ctas_neutral(self):
+        assert wave_efficiency(0, 108) == 1.0
+
+
+class TestUtilization:
+    def test_large_square_gemm_near_base(self, model):
+        op = Gemm("g", m=8192, n=8192, k=8192)
+        assert model.utilization(op) > 0.7
+
+    def test_decode_gemm_terrible(self, model):
+        op = Gemm("g", m=1, n=4096, k=4096)
+        assert model.utilization(op) < 0.02
+
+    def test_prefill_beats_decode(self, model):
+        prefill = Gemm("g", m=2048, n=4096, k=4096)
+        decode = Gemm("g", m=1, n=4096, k=4096)
+        assert model.utilization(prefill) > 10 * model.utilization(decode)
+
+    def test_fp32_uses_vector_base(self, model):
+        fp16 = Gemm("g", m=4096, n=4096, k=4096)
+        fp32 = Gemm("g", m=4096, n=4096, k=4096, dtype=FP32)
+        # Base constants differ; both bounded by 1.
+        assert 0 < model.utilization(fp32) <= 1.0
+        assert model.utilization(fp16) != model.utilization(fp32)
+
+
+class TestTiming:
+    def test_big_gemm_compute_bound(self, model):
+        cost = model.estimate(Gemm("g", m=8192, n=8192, k=8192))
+        assert cost.limiter == "compute"
+
+    def test_decode_gemm_memory_bound(self, model):
+        # Weight-streaming decode GEMM: m=1 against a 4096x4096 weight.
+        cost = model.estimate(
+            Gemm("g", m=1, n=4096, k=4096, b_is_weight=True)
+        )
+        assert cost.limiter == "memory"
+        expected = 4096 * 4096 * 2 / A100_80GB.dram_bandwidth
+        assert cost.memory_time_s == pytest.approx(expected, rel=0.3)
+
+    def test_fp32_slower_than_fp16(self, model):
+        fp16 = model.estimate(Gemm("g", m=4096, n=4096, k=4096))
+        fp32 = model.estimate(
+            Gemm("g", m=4096, n=4096, k=4096, dtype=FP32)
+        )
+        assert fp32.time_s > fp16.time_s
+
+    def test_launch_overhead_included(self, model):
+        cost = model.estimate(Gemm("g", m=64, n=64, k=64))
+        assert cost.launch_time_s == pytest.approx(
+            A100_80GB.kernel_launch_overhead_s
+        )
+        assert cost.time_s >= cost.launch_time_s
+
+    def test_known_large_gemm_latency_plausible(self, model):
+        # 8k^3 fp16 GEMM: ~1.1 TFLOP at ~265 TFLOP/s -> ~4 ms.
+        cost = model.estimate(Gemm("g", m=8192, n=8192, k=8192))
+        assert 2e-3 < cost.time_s < 10e-3
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(1, 8192),
+    n=st.integers(1, 8192),
+    k=st.integers(1, 8192),
+)
+def test_cost_always_positive_and_consistent(m, n, k):
+    model = GemmCostModel(A100_80GB)
+    cost = model.estimate(Gemm("g", m=m, n=n, k=k))
+    assert cost.time_s > 0
+    assert cost.time_s >= max(
+        cost.compute_time_s, cost.memory_time_s
+    ) - 1e-12
+    assert cost.flops == 2.0 * m * n * k
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.integers(8, 63))
+def test_doubling_m_within_tile_is_free_compute(m):
+    """Padding means any m within one tile costs the same compute:
+    FLOPs double but so does useful-work fraction.  (m >= 8 keeps the
+    utilization above the floor where the proportionality breaks.)"""
+    model = GemmCostModel(A100_80GB)
+    a = model.estimate(Gemm("g", m=m, n=8192, k=8192))
+    b = model.estimate(Gemm("g", m=2 * m, n=8192, k=8192))
+    assert b.compute_time_s == pytest.approx(a.compute_time_s, rel=0.01)

@@ -1,0 +1,187 @@
+"""Attention layer lowering tests."""
+
+import pytest
+
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.ops import AttentionKind, AttentionRole, OpCategory
+from repro.ir.tensor import TensorSpec, tensor
+from repro.layers.attention import (
+    MultiHeadAttention,
+    SpatialSelfAttention,
+    SpatialTransformer,
+    TemporalAttentionLayer,
+)
+
+
+class TestMultiHeadAttention:
+    def test_projections_counted_as_attention(self):
+        ctx = ExecutionContext()
+        MultiHeadAttention(64, 4)(ctx, tensor(1, 16, 64))
+        assert all(
+            event.category is OpCategory.ATTENTION for event in ctx.trace
+        )
+
+    def test_self_attention_seq_kv_equals_seq_q(self):
+        ctx = ExecutionContext()
+        MultiHeadAttention(64, 4)(ctx, tensor(1, 16, 64))
+        info = ctx.trace.attention_anchors()[0].op.attention
+        assert info.seq_q == info.seq_kv == 16
+        assert info.role is AttentionRole.SELF
+
+    def test_kv_cache_extends_seq_kv(self):
+        ctx = ExecutionContext()
+        MultiHeadAttention(64, 4, causal=True)(
+            ctx, tensor(1, 1, 64), past_length=100
+        )
+        info = ctx.trace.attention_anchors()[0].op.attention
+        assert info.seq_q == 1
+        assert info.seq_kv == 101
+
+    def test_cross_attention_uses_context_length(self):
+        ctx = ExecutionContext()
+        MultiHeadAttention(64, 4)(
+            ctx, tensor(1, 16, 64), context=tensor(1, 77, 64)
+        )
+        info = ctx.trace.attention_anchors()[0].op.attention
+        assert info.seq_kv == 77
+        assert info.role is AttentionRole.CROSS
+
+    def test_cross_attention_never_causal(self):
+        ctx = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+        MultiHeadAttention(64, 4, causal=True)(
+            ctx, tensor(1, 16, 64), context=tensor(1, 77, 64)
+        )
+        fused = ctx.trace.attention_anchors()[0].op
+        assert fused.causal is False
+
+    def test_head_dim_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(65, 4)
+
+    def test_rank_validation(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ValueError):
+            MultiHeadAttention(64, 4)(ctx, tensor(16, 64))
+
+    def test_param_count_four_projections(self):
+        attn = MultiHeadAttention(64, 4)
+        assert attn.param_count() == 4 * 64 * 64
+
+
+class TestSpatialSelfAttention:
+    def test_sequence_is_flattened_pixels(self):
+        ctx = ExecutionContext()
+        SpatialSelfAttention(64)(ctx, tensor(1, 64, 16, 16))
+        info = ctx.trace.attention_anchors()[0].op.attention
+        assert info.seq_q == 256
+        assert info.kind is AttentionKind.SPATIAL
+
+    def test_text_cross_attention_optional(self):
+        ctx = ExecutionContext()
+        SpatialSelfAttention(64, text_dim=128, text_seq=77)(
+            ctx, tensor(1, 64, 16, 16)
+        )
+        anchors = ctx.trace.attention_anchors()
+        assert len(anchors) == 2
+        assert anchors[1].op.attention.seq_kv == 77
+
+    def test_rearranges_charged_to_attention(self):
+        ctx = ExecutionContext()
+        SpatialSelfAttention(64)(ctx, tensor(1, 64, 16, 16))
+        transposes = [
+            event for event in ctx.trace if event.op.name.startswith(
+                "rearrange"
+            )
+        ]
+        assert len(transposes) == 2
+        assert all(
+            event.category is OpCategory.ATTENTION for event in transposes
+        )
+
+    def test_heads_derived_from_channels(self):
+        layer = SpatialSelfAttention(512, head_dim=64)
+        assert layer.num_heads == 8
+
+    def test_head_dim_clamped_to_channels(self):
+        layer = SpatialSelfAttention(32, head_dim=64)
+        assert layer.head_dim == 32
+
+    def test_shape_validation(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ValueError):
+            SpatialSelfAttention(64)(ctx, tensor(1, 64, 16))
+
+
+class TestSpatialTransformer:
+    def test_depth_controls_attention_calls(self):
+        for depth in (1, 2):
+            ctx = ExecutionContext()
+            SpatialTransformer(
+                64, head_dim=32, text_dim=128, text_seq=77, depth=depth
+            )(ctx, tensor(1, 64, 8, 8))
+            assert len(ctx.trace.attention_anchors()) == 2 * depth
+
+    def test_contains_gated_feedforward(self):
+        ctx = ExecutionContext()
+        SpatialTransformer(64, head_dim=32, text_dim=128, text_seq=77)(
+            ctx, tensor(1, 64, 8, 8)
+        )
+        assert any(event.op.name == "glu" for event in ctx.trace)
+
+    def test_cross_attention_attends_text(self):
+        ctx = ExecutionContext()
+        SpatialTransformer(64, head_dim=32, text_dim=128, text_seq=77)(
+            ctx, tensor(1, 64, 8, 8)
+        )
+        cross = [
+            anchor for anchor in ctx.trace.attention_anchors()
+            if anchor.op.attention.role is AttentionRole.CROSS
+        ]
+        assert cross[0].op.attention.seq_kv == 77
+
+
+class TestTemporalAttention:
+    def test_sequence_is_frame_count(self):
+        ctx = ExecutionContext()
+        TemporalAttentionLayer(64)(ctx, tensor(1, 64, 16, 8, 8))
+        info = ctx.trace.attention_anchors()[0].op.attention
+        assert info.seq_q == 16
+        assert info.kind is AttentionKind.TEMPORAL
+
+    def test_pixels_fold_into_batch(self):
+        ctx = ExecutionContext()
+        TemporalAttentionLayer(64)(ctx, tensor(2, 64, 16, 8, 8))
+        info = ctx.trace.attention_anchors()[0].op.attention
+        assert info.batch == 2 * 64
+
+    def test_materialized_transposes_present(self):
+        ctx = ExecutionContext()
+        TemporalAttentionLayer(64)(ctx, tensor(1, 64, 16, 8, 8))
+        names = [event.op.name for event in ctx.trace]
+        assert "rearrange_in" in names and "rearrange_out" in names
+
+    def test_view_mode_sets_stride(self):
+        layer = TemporalAttentionLayer(64, materialize_transpose=False)
+        info = layer.attention_info(TensorSpec((1, 64, 16, 8, 8)))
+        assert info.element_stride_bytes == 8 * 8 * 64 * 2
+
+    def test_materialized_mode_contiguous(self):
+        layer = TemporalAttentionLayer(64)
+        info = layer.attention_info(TensorSpec((1, 64, 16, 8, 8)))
+        assert info.element_stride_bytes == 0
+
+    def test_rank_validation(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ValueError):
+            TemporalAttentionLayer(64)(ctx, tensor(1, 64, 8, 8))
+
+    def test_temporal_kernels_pay_locality_derate(self):
+        """The Figure 11 mechanism: temporal attention core kernels run
+        at derated bandwidth."""
+        ctx = ExecutionContext()
+        TemporalAttentionLayer(64)(ctx, tensor(1, 64, 16, 32, 32))
+        core = [
+            event for event in ctx.trace
+            if event.op.attention is not None
+        ]
+        assert core, "temporal core kernels missing"

@@ -1,0 +1,105 @@
+"""Linear, FeedForward and normalization layer tests."""
+
+import pytest
+
+from repro.ir.context import ExecutionContext
+from repro.ir.ops import Gemm, OpCategory
+from repro.ir.tensor import tensor
+from repro.layers.linear import FeedForward, Linear
+from repro.layers.norm import GroupNormLayer, LayerNormLayer, RMSNormLayer
+
+
+class TestLinear:
+    def test_emits_single_weight_gemm(self):
+        ctx = ExecutionContext()
+        Linear(64, 128)(ctx, tensor(2, 10, 64))
+        assert len(ctx.trace) == 1
+        op = ctx.trace.events[0].op
+        assert isinstance(op, Gemm)
+        assert (op.m, op.n, op.k) == (20, 128, 64)
+        assert op.b_is_weight
+
+    def test_output_shape(self):
+        ctx = ExecutionContext()
+        out = Linear(64, 128)(ctx, tensor(2, 10, 64))
+        assert out.shape == (2, 10, 128)
+
+    def test_param_count_with_bias(self):
+        assert Linear(64, 128).own_param_count() == 64 * 128 + 128
+
+    def test_param_count_without_bias(self):
+        assert Linear(64, 128, bias=False).own_param_count() == 64 * 128
+
+    def test_wrong_input_dim_rejected(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ValueError, match="expected last dim"):
+            Linear(64, 128)(ctx, tensor(2, 32))
+
+    def test_category_override_for_attention_projections(self):
+        ctx = ExecutionContext()
+        Linear(64, 64, category=OpCategory.ATTENTION)(ctx, tensor(1, 64))
+        assert ctx.trace.events[0].category is OpCategory.ATTENTION
+
+    def test_invalid_features_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(0, 10)
+
+
+class TestFeedForward:
+    def test_plain_mlp_two_gemms_one_activation(self):
+        ctx = ExecutionContext()
+        FeedForward(64)(ctx, tensor(1, 8, 64))
+        categories = [event.category for event in ctx.trace]
+        assert categories.count(OpCategory.LINEAR) == 2
+        assert categories.count(OpCategory.ELEMENTWISE) == 1
+
+    def test_gated_mlp_three_gemms(self):
+        ctx = ExecutionContext()
+        FeedForward(64, gated=True)(ctx, tensor(1, 8, 64))
+        categories = [event.category for event in ctx.trace]
+        assert categories.count(OpCategory.LINEAR) == 3
+
+    def test_default_hidden_is_4x(self):
+        assert FeedForward(64).hidden_dim == 256
+
+    def test_custom_hidden(self):
+        ff = FeedForward(4096, hidden_dim=11008, gated=True)
+        # LLaMA-7B MLP: 3 * 4096 * 11008 weights plus biases.
+        assert ff.param_count() >= 3 * 4096 * 11008
+
+    def test_preserves_shape(self):
+        ctx = ExecutionContext()
+        out = FeedForward(64)(ctx, tensor(2, 8, 64))
+        assert out.shape == (2, 8, 64)
+
+
+class TestNorms:
+    def test_layernorm_emits_one_kernel(self):
+        ctx = ExecutionContext()
+        LayerNormLayer(64)(ctx, tensor(2, 8, 64))
+        assert len(ctx.trace) == 1
+        assert ctx.trace.events[0].category is OpCategory.NORM
+
+    def test_layernorm_wrong_dim(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ValueError):
+            LayerNormLayer(64)(ctx, tensor(2, 32))
+
+    def test_rmsnorm_half_params_of_layernorm(self):
+        assert (
+            RMSNormLayer(64).own_param_count()
+            == LayerNormLayer(64).own_param_count() // 2
+        )
+
+    def test_groupnorm_category(self):
+        ctx = ExecutionContext()
+        GroupNormLayer(32)(ctx, tensor(1, 32, 8, 8))
+        assert ctx.trace.events[0].category is OpCategory.GROUPNORM
+
+    def test_groupnorm_channel_validation(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ValueError):
+            GroupNormLayer(32)(ctx, tensor(1, 64, 8, 8))
+
+    def test_groupnorm_clamps_groups(self):
+        assert GroupNormLayer(16, groups=32).groups == 16

@@ -1,0 +1,94 @@
+"""Property-based tests over the UNet configuration space.
+
+Any valid configuration must build, run, and satisfy the structural
+invariants the experiments rely on (symmetric sequence profiles,
+shape preservation, deterministic costs).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.layers.unet import UNet, UNetConfig
+from repro.profiler.seqlen import sequence_length_profile
+
+
+@st.composite
+def unet_configs(draw):
+    levels = draw(st.integers(1, 3))
+    channel_mult = tuple(
+        draw(st.sampled_from([1, 2, 4])) for _ in range(levels)
+    )
+    attention_levels = tuple(
+        level for level in range(levels)
+        if draw(st.booleans())
+    )
+    style = draw(st.sampled_from(["transformer", "block", "none"]))
+    if style == "none":
+        attention_levels = ()
+    return UNetConfig(
+        in_channels=draw(st.sampled_from([3, 4])),
+        model_channels=draw(st.sampled_from([32, 64])),
+        channel_mult=channel_mult,
+        num_res_blocks=draw(st.integers(1, 2)),
+        attention_levels=attention_levels,
+        attention_style=style,
+        head_dim=draw(st.sampled_from([8, 16, 32])),
+        text_dim=64,
+        text_seq=8,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=unet_configs(), latent=st.sampled_from([8, 16]))
+def test_any_valid_config_runs_and_preserves_shape(config, latent):
+    unet = UNet(config)
+    ctx = ExecutionContext()
+    out = unet(ctx, TensorSpec((1, config.in_channels, latent, latent)))
+    assert out.shape == (1, config.in_channels, latent, latent)
+    assert ctx.trace.total_time_s > 0
+    assert unet.param_count() > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=unet_configs())
+def test_pass_cost_is_deterministic(config):
+    unet = UNet(config)
+    times = []
+    for _ in range(2):
+        ctx = ExecutionContext()
+        unet(ctx, TensorSpec((1, config.in_channels, 16, 16)))
+        times.append(ctx.trace.total_time_s)
+    assert times[0] == times[1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=unet_configs())
+def test_flash_never_slower_for_any_config(config):
+    unet = UNet(config)
+    baseline = ExecutionContext()
+    unet(baseline, TensorSpec((1, config.in_channels, 16, 16)))
+    flash = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+    unet(flash, TensorSpec((1, config.in_channels, 16, 16)))
+    assert flash.trace.total_time_s <= baseline.trace.total_time_s + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=unet_configs())
+def test_sequence_profile_is_palindromic(config):
+    """The down/up symmetry of the UNet shows in the attention calls:
+    the sequence of self-attention lengths reads the same reversed
+    (up to the extra up-path blocks, which repeat the same lengths)."""
+    unet = UNet(config)
+    ctx = ExecutionContext()
+    unet(ctx, TensorSpec((1, config.in_channels, 16, 16)))
+    seqs = [s.seq_q for s in sequence_length_profile(ctx.trace)]
+    if not seqs:
+        return
+    assert min(seqs) >= 1
+    # Lengths on the way up revisit exactly the down-path set.
+    assert set(seqs[: len(seqs) // 2]) <= set(seqs)
+    low = seqs.index(min(seqs))
+    assert all(a >= b for a, b in zip(seqs[:low], seqs[1:low + 1]))
+    assert all(a <= b for a, b in zip(seqs[low:], seqs[low + 1:]))

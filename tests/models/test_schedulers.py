@@ -1,0 +1,120 @@
+"""Diffusion-schedule tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.schedulers import (
+    DiffusionSchedule,
+    cosine_schedule,
+    linear_schedule,
+    steps_latency_tradeoff,
+)
+
+
+class TestSchedules:
+    def test_linear_endpoints(self):
+        schedule = linear_schedule(1000, 1e-4, 2e-2)
+        assert schedule.betas[0] == pytest.approx(1e-4)
+        assert schedule.betas[-1] == pytest.approx(2e-2)
+
+    def test_alphas_cumprod_decreasing(self):
+        for schedule in (linear_schedule(), cosine_schedule()):
+            cumprod = schedule.alphas_cumprod
+            assert np.all(np.diff(cumprod) < 0)
+            assert 0.0 < cumprod[-1] < cumprod[0] < 1.0
+
+    def test_terminal_signal_near_zero(self):
+        assert linear_schedule().terminal_signal() < 0.05
+        assert cosine_schedule().terminal_signal() < 0.05
+
+    def test_snr_decreasing(self):
+        snr = linear_schedule().signal_to_noise()
+        assert np.all(np.diff(snr) < 0)
+
+    def test_cosine_is_gentler_early(self):
+        """The cosine schedule preserves more signal at mid-trajectory
+        (its design goal)."""
+        mid = 500
+        assert cosine_schedule(1000).alphas_cumprod[mid] > (
+            linear_schedule(1000).alphas_cumprod[mid]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiffusionSchedule(betas=np.array([0.0, 0.1]))
+        with pytest.raises(ValueError):
+            DiffusionSchedule(betas=np.array([[0.1]]))
+        with pytest.raises(ValueError):
+            linear_schedule(0)
+        with pytest.raises(ValueError):
+            linear_schedule(10, 0.5, 0.1)
+
+
+class TestDdimTimesteps:
+    def test_count_and_order(self):
+        schedule = linear_schedule(1000)
+        steps = schedule.ddim_timesteps(50)
+        assert len(steps) == 50
+        assert np.all(np.diff(steps) < 0)  # descending
+
+    def test_full_budget_visits_every_step(self):
+        schedule = linear_schedule(100)
+        steps = schedule.ddim_timesteps(100)
+        assert sorted(steps.tolist()) == list(range(100))
+
+    def test_single_step(self):
+        assert linear_schedule(1000).ddim_timesteps(1).tolist() == [0]
+
+    def test_bounds_enforced(self):
+        schedule = linear_schedule(100)
+        with pytest.raises(ValueError):
+            schedule.ddim_timesteps(0)
+        with pytest.raises(ValueError):
+            schedule.ddim_timesteps(101)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        train=st.integers(10, 1000),
+        frac=st.floats(0.01, 1.0),
+    )
+    def test_subsequence_always_valid(self, train, frac):
+        schedule = linear_schedule(train)
+        inference = max(1, int(train * frac))
+        steps = schedule.ddim_timesteps(inference)
+        assert len(steps) == inference
+        assert steps.min() >= 0 and steps.max() < train
+        assert len(set(steps.tolist())) == inference  # no duplicates
+
+
+class TestTradeoff:
+    def test_latency_linear_in_steps(self):
+        points = steps_latency_tradeoff(0.02, [10, 20, 50])
+        assert points[1].latency_s == pytest.approx(
+            2 * points[0].latency_s
+        )
+
+    def test_overhead_added_once(self):
+        points = steps_latency_tradeoff(
+            0.02, [10], fixed_overhead_s=0.5
+        )
+        assert points[0].latency_s == pytest.approx(0.7)
+
+    def test_coverage_grows_with_steps(self):
+        points = steps_latency_tradeoff(0.02, [2, 10, 50, 1000])
+        coverages = [p.snr_coverage for p in points]
+        assert coverages == sorted(coverages)
+        assert coverages[-1] == pytest.approx(1.0)
+
+    def test_paper_operating_points(self):
+        """SD's 50 steps cover nearly the whole trajectory — the
+        quality/latency sweet spot the suite configs encode."""
+        points = steps_latency_tradeoff(0.02, [50])
+        assert points[0].snr_coverage > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            steps_latency_tradeoff(0.0, [10])
+        with pytest.raises(ValueError):
+            steps_latency_tradeoff(0.02, [])

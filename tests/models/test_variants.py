@@ -1,0 +1,67 @@
+"""Model-variant operating points run end-to-end."""
+
+import pytest
+
+from repro.ir.context import ExecutionContext
+from repro.models.registry import (
+    MODEL_VARIANTS,
+    build_model,
+    variant_names,
+)
+
+
+class TestVariantRegistry:
+    def test_variant_names_sorted(self):
+        assert variant_names() == sorted(MODEL_VARIANTS)
+
+    @pytest.mark.parametrize(
+        "name", ["stable_diffusion@256", "llama@serving"]
+    )
+    def test_variants_run_inference(self, name):
+        model = build_model(name)
+        ctx = ExecutionContext()
+        model.run_inference(ctx)
+        assert ctx.trace.total_time_s > 0
+
+    def test_sd_256_cheaper_than_default(self):
+        small = build_model("stable_diffusion@256")
+        big = build_model("stable_diffusion")
+        ctx_small, ctx_big = ExecutionContext(), ExecutionContext()
+        small.run_inference(ctx_small)
+        big.run_inference(ctx_big)
+        assert ctx_small.trace.total_flops < ctx_big.trace.total_flops / 3
+
+    def test_sd_768_max_seq_grows(self):
+        from repro.profiler.seqlen import sequence_length_distribution
+
+        model = build_model("stable_diffusion@768")
+        ctx = ExecutionContext()
+        model.run_inference(ctx)
+        dist = sequence_length_distribution(ctx.trace)
+        assert dist.max_length == (768 // 8) ** 2
+
+    def test_llama_serving_is_decode_heavy(self):
+        model = build_model("llama@serving")
+        ctx = ExecutionContext()
+        model.run_inference(ctx)
+        decode = ctx.trace.filter(
+            lambda event: event.module_path.startswith("decode")
+        )
+        prefill = ctx.trace.filter(
+            lambda event: event.module_path.startswith("prefill")
+        )
+        assert decode.total_time_s > prefill.total_time_s
+
+    def test_serving_llama_gains_less_from_flash(self):
+        """Decode-heavy serving sees a smaller end-to-end FA win than
+        the paper's prefill-heavy profile — Table III's asymmetry at
+        the deployment level."""
+        from repro.profiler.breakdown import speedup_report
+        from repro.profiler.profiler import profile_both
+
+        serving = build_model("llama@serving")
+        baseline, flash = profile_both(serving)
+        serving_speedup = speedup_report(
+            baseline.trace, flash.trace
+        ).end_to_end_speedup
+        assert serving_speedup < 1.3

@@ -1,0 +1,104 @@
+"""Flash-Decoding optimization tests."""
+
+import pytest
+
+from repro.hw.spec import A100_80GB
+from repro.ir.ops import FusedAttention
+from repro.optimizations.flash_decoding import (
+    FlashDecodingModel,
+    SaturationAwareFlashModel,
+    compare_decode_attention,
+)
+
+
+def decode_op(seq_kv=8192, batch=1, heads=32) -> FusedAttention:
+    return FusedAttention(
+        "decode", batch=batch, seq_q=1, seq_kv=seq_kv, head_dim=128,
+        num_heads=heads,
+    )
+
+
+def prefill_op(seq=4096, batch=4, heads=32) -> FusedAttention:
+    return FusedAttention(
+        "prefill", batch=batch, seq_q=seq, seq_kv=seq, head_dim=128,
+        num_heads=heads,
+    )
+
+
+class TestSaturation:
+    def test_decode_shape_under_saturates(self):
+        model = SaturationAwareFlashModel(A100_80GB)
+        assert model.saturation(decode_op()) < 0.5
+
+    def test_prefill_shape_saturates(self):
+        model = SaturationAwareFlashModel(A100_80GB)
+        assert model.saturation(prefill_op()) == 1.0
+
+    def test_saturation_slows_decode_memory(self):
+        from repro.kernels.flash_attention import FlashAttentionCostModel
+
+        plain = FlashAttentionCostModel(A100_80GB)
+        aware = SaturationAwareFlashModel(A100_80GB)
+        op = decode_op()
+        assert aware.estimate(op).time_s > plain.estimate(op).time_s
+
+    def test_prefill_unaffected(self):
+        from repro.kernels.flash_attention import FlashAttentionCostModel
+
+        plain = FlashAttentionCostModel(A100_80GB)
+        aware = SaturationAwareFlashModel(A100_80GB)
+        op = prefill_op()
+        assert aware.estimate(op).time_s == pytest.approx(
+            plain.estimate(op).time_s
+        )
+
+
+class TestSplits:
+    def test_decode_gets_splits(self):
+        model = FlashDecodingModel(A100_80GB)
+        assert model.kv_splits(decode_op()) > 1
+
+    def test_prefill_gets_no_splits(self):
+        model = FlashDecodingModel(A100_80GB)
+        assert model.kv_splits(prefill_op()) == 1
+
+    def test_splits_bounded_by_kv_tiles(self):
+        model = FlashDecodingModel(A100_80GB)
+        short = decode_op(seq_kv=128, batch=1, heads=1)
+        assert model.kv_splits(short) <= 2  # only 2 kv tiles of 64
+
+    def test_splits_capped(self):
+        model = FlashDecodingModel(A100_80GB, max_splits=4)
+        assert model.kv_splits(decode_op(heads=1)) <= 4
+
+
+class TestSpeedup:
+    def test_decode_speedup_meaningful(self):
+        points = compare_decode_attention([8192])
+        assert points[0].speedup > 1.5
+
+    def test_speedup_grows_with_context(self):
+        points = compare_decode_attention([2048, 32768])
+        assert points[-1].speedup >= points[0].speedup
+
+    def test_flops_preserved(self):
+        aware = SaturationAwareFlashModel(A100_80GB)
+        decoding = FlashDecodingModel(A100_80GB)
+        op = decode_op()
+        assert decoding.estimate(op).flops == pytest.approx(
+            aware.estimate(op).flops
+        )
+
+    def test_combine_kernel_adds_launch(self):
+        decoding = FlashDecodingModel(A100_80GB)
+        op = decode_op()
+        cost = decoding.estimate(op)
+        assert cost.launch_time_s == pytest.approx(
+            2 * A100_80GB.kernel_launch_overhead_s
+        )
+
+    def test_large_batch_needs_no_splitting(self):
+        # At batch 8 x 32 heads = 256 CTAs > 108 SMs: already saturated.
+        points = compare_decode_attention([8192], batch=8)
+        assert points[0].splits == 1
+        assert points[0].speedup == pytest.approx(1.0)

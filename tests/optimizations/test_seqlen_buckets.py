@@ -1,0 +1,100 @@
+"""Sequence-length-bucket specialization tests."""
+
+import pytest
+
+from repro.ir.trace import Trace
+from repro.optimizations.seqlen_buckets import (
+    attention_time_by_seq_len,
+    evaluate_specialization,
+)
+
+
+class TestBuckets:
+    def test_sd_buckets_are_the_figure8_lengths(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        buckets = attention_time_by_seq_len(baseline.trace)
+        lengths = {bucket.seq_len for bucket in buckets}
+        assert {4096, 1024, 256} <= lengths
+
+    def test_sorted_by_time(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        buckets = attention_time_by_seq_len(baseline.trace)
+        times = [bucket.attention_time_s for bucket in buckets]
+        assert times == sorted(times, reverse=True)
+
+    def test_longest_sequence_carries_most_time(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        buckets = attention_time_by_seq_len(baseline.trace)
+        self_attention = [
+            bucket for bucket in buckets if bucket.seq_len != 77
+        ]
+        assert self_attention[0].seq_len == 4096
+
+    def test_fractions_bounded(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        buckets = attention_time_by_seq_len(baseline.trace)
+        total = sum(bucket.time_fraction for bucket in buckets)
+        assert 0.0 < total <= 1.0
+
+    def test_call_counts_positive(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        for bucket in attention_time_by_seq_len(baseline.trace):
+            assert bucket.calls > 0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            attention_time_by_seq_len(Trace())
+
+
+class TestSpecialization:
+    def test_top_bucket_dominates_gain(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        one = evaluate_specialization(baseline.trace, top_k=1)
+        all_of_them = evaluate_specialization(baseline.trace, top_k=10)
+        assert 1.0 < one.end_to_end_speedup <= (
+            all_of_them.end_to_end_speedup
+        )
+
+    def test_coverage_grows_with_k(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        coverages = [
+            evaluate_specialization(
+                baseline.trace, top_k=k
+            ).coverage_of_attention
+            for k in (1, 2, 4)
+        ]
+        assert coverages == sorted(coverages)
+        assert coverages[-1] <= 1.0 + 1e-9
+
+    def test_infinite_bucket_speedup_bounded_by_amdahl(
+        self, suite_profiles
+    ):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        report = evaluate_specialization(
+            baseline.trace, top_k=2, bucket_speedup=1e9
+        )
+        from repro.analysis.amdahl import max_speedup
+
+        ceiling = max_speedup(report.covered_fraction)
+        assert report.end_to_end_speedup == pytest.approx(
+            ceiling, rel=1e-3
+        )
+
+    def test_invalid_args(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        with pytest.raises(ValueError):
+            evaluate_specialization(baseline.trace, top_k=0)
+        with pytest.raises(ValueError):
+            evaluate_specialization(baseline.trace, bucket_speedup=0.0)
+
+    def test_llm_single_bucket(self, suite_profiles):
+        """LLaMA prefill attention is one 8192 bucket — specialization
+        trivially covers it (the LLM design point the paper contrasts
+        against)."""
+        baseline, _ = suite_profiles["llama"]
+        prefill = baseline.trace.filter(
+            lambda event: event.module_path.startswith("prefill")
+        )
+        report = evaluate_specialization(prefill, top_k=1)
+        assert report.target_seq_lens == (8192,)
+        assert report.coverage_of_attention == pytest.approx(1.0)

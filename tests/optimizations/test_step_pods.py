@@ -1,0 +1,92 @@
+"""Staggered denoising-pod scheduler tests."""
+
+import pytest
+
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.optimizations.step_pods import (
+    bandwidth_demand_profile,
+    schedule_pods,
+)
+
+
+@pytest.fixture(scope="module")
+def unet_pass_trace():
+    from repro.models.stable_diffusion import StableDiffusion
+
+    model = StableDiffusion()
+    ctx = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+    model.unet(ctx, TensorSpec((2, 4, 64, 64)))
+    return ctx.trace
+
+
+class TestDemandProfile:
+    def test_bin_count(self, unet_pass_trace):
+        assert len(bandwidth_demand_profile(unet_pass_trace, bins=32)) == 32
+
+    def test_durations_cover_trace(self, unet_pass_trace):
+        profile = bandwidth_demand_profile(unet_pass_trace, bins=32)
+        total = sum(demand_bin.duration_s for demand_bin in profile)
+        assert total == pytest.approx(unet_pass_trace.total_time_s)
+
+    def test_total_bytes_conserved(self, unet_pass_trace):
+        profile = bandwidth_demand_profile(unet_pass_trace, bins=64)
+        binned = sum(
+            demand_bin.bytes_per_s * demand_bin.duration_s
+            for demand_bin in profile
+        )
+        assert binned == pytest.approx(
+            unet_pass_trace.total_moved_bytes, rel=0.02
+        )
+
+    def test_demand_is_cyclic_nonuniform(self, unet_pass_trace):
+        """The U-shaped UNet makes demand peaky — the very property the
+        pod proposal exploits."""
+        profile = bandwidth_demand_profile(unet_pass_trace, bins=64)
+        rates = [demand_bin.bytes_per_s for demand_bin in profile]
+        assert max(rates) > 2 * (sum(rates) / len(rates))
+
+    def test_invalid_bins(self, unet_pass_trace):
+        with pytest.raises(ValueError):
+            bandwidth_demand_profile(unet_pass_trace, bins=0)
+
+
+class TestPodSchedule:
+    def test_staggering_cuts_peak_demand(self, unet_pass_trace):
+        report = schedule_pods(unet_pass_trace, copies=4)
+        assert report.staggered_peak_demand < report.aligned_peak_demand
+
+    def test_staggering_never_hurts(self, unet_pass_trace):
+        for copies in (2, 4, 8):
+            report = schedule_pods(unet_pass_trace, copies=copies)
+            assert report.speedup >= 1.0 - 1e-9
+
+    def test_gain_grows_with_concurrency(self, unet_pass_trace):
+        gains = [
+            schedule_pods(unet_pass_trace, copies=copies).speedup
+            for copies in (2, 8)
+        ]
+        assert gains[-1] >= gains[0]
+
+    def test_peak_to_average_improves(self, unet_pass_trace):
+        report = schedule_pods(unet_pass_trace, copies=8)
+        assert (
+            report.peak_to_average_staggered
+            < report.peak_to_average_aligned
+        )
+        assert report.peak_to_average_staggered >= 1.0 - 1e-9
+
+    def test_single_copy_trivial(self, unet_pass_trace):
+        report = schedule_pods(unet_pass_trace, copies=1)
+        assert report.speedup == pytest.approx(1.0)
+
+    def test_invalid_copies(self, unet_pass_trace):
+        with pytest.raises(ValueError):
+            schedule_pods(unet_pass_trace, copies=0)
+
+    def test_aligned_peak_scales_with_copies(self, unet_pass_trace):
+        two = schedule_pods(unet_pass_trace, copies=2)
+        four = schedule_pods(unet_pass_trace, copies=4)
+        assert four.aligned_peak_demand == pytest.approx(
+            2 * two.aligned_peak_demand
+        )

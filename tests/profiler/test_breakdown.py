@@ -1,0 +1,106 @@
+"""Breakdown / speedup / temporal-report tests."""
+
+import pytest
+
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.ops import Elementwise, Gemm, OpCategory
+from repro.profiler.breakdown import (
+    attention_core_time,
+    attention_module_time,
+    breakdown,
+    speedup_report,
+    temporal_spatial_report,
+)
+
+
+def mixed_trace():
+    ctx = ExecutionContext()
+    ctx.emit(Gemm("g", m=256, n=256, k=256))
+    ctx.emit(Elementwise("e", numel=1000))
+    return ctx.trace
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        result = breakdown(mixed_trace())
+        assert sum(result.fractions().values()) == pytest.approx(1.0)
+
+    def test_missing_category_fraction_zero(self):
+        result = breakdown(mixed_trace())
+        assert result.fraction(OpCategory.CONV) == 0.0
+
+    def test_dominant_category(self):
+        result = breakdown(mixed_trace())
+        assert result.dominant_category() in (
+            OpCategory.LINEAR, OpCategory.ELEMENTWISE,
+        )
+
+    def test_normalized_to_baseline(self):
+        result = breakdown(mixed_trace())
+        normalized = result.normalized_to(2 * result.total_time_s)
+        assert sum(normalized.values()) == pytest.approx(0.5)
+
+    def test_normalized_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            breakdown(mixed_trace()).normalized_to(0.0)
+
+    def test_empty_trace_fraction(self):
+        from repro.ir.trace import Trace
+
+        result = breakdown(Trace())
+        assert result.fraction(OpCategory.LINEAR) == 0.0
+
+
+class TestSpeedupReport:
+    def _traces(self):
+        from repro.layers.attention import MultiHeadAttention
+        from repro.ir.tensor import tensor
+
+        attn = MultiHeadAttention(256, 4)
+        baseline = ExecutionContext()
+        attn(baseline, tensor(4, 2048, 256))
+        flash = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+        attn(flash, tensor(4, 2048, 256))
+        return baseline.trace, flash.trace
+
+    def test_end_to_end_speedup_above_one(self):
+        base, flash = self._traces()
+        report = speedup_report(base, flash)
+        assert report.end_to_end_speedup > 1.0
+
+    def test_module_speedup_includes_projections(self):
+        base, flash = self._traces()
+        report = speedup_report(base, flash)
+        # Projections are identical in both, so module speedup is lower
+        # than core speedup.
+        core = attention_core_time(base) / attention_core_time(flash)
+        assert report.attention_module_speedup < core
+
+    def test_attention_fraction_in_unit_interval(self):
+        base, flash = self._traces()
+        report = speedup_report(base, flash)
+        assert 0.0 < report.baseline_attention_fraction <= 1.0
+
+    def test_module_time_is_category_time(self):
+        base, _ = self._traces()
+        assert attention_module_time(base) == pytest.approx(
+            base.time_by_category()[OpCategory.ATTENTION]
+        )
+
+    def test_core_time_excludes_projections(self):
+        base, _ = self._traces()
+        assert attention_core_time(base) < attention_module_time(base)
+
+
+class TestTemporalSpatialReport:
+    def test_mav_report_ratios(self, suite_profiles):
+        baseline, _ = suite_profiles["make_a_video"]
+        report = temporal_spatial_report(baseline.trace)
+        assert report.spatial_time_s > 0
+        assert report.temporal_time_s > 0
+        assert report.flop_ratio > 1.0
+
+    def test_image_model_has_no_temporal_time(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        report = temporal_spatial_report(baseline.trace)
+        assert report.temporal_time_s == 0.0

@@ -1,0 +1,104 @@
+"""Trace-diff tests."""
+
+import pytest
+
+from repro.ir.trace import Trace
+from repro.profiler.diff import diff_traces, render_diff
+
+
+@pytest.fixture(scope="module")
+def sd_diff(suite_profiles):
+    baseline, flash = suite_profiles["stable_diffusion"]
+    return diff_traces(baseline.trace, flash.trace)
+
+
+class TestDiff:
+    def test_end_to_end_matches_speedup_report(
+        self, sd_diff, suite_profiles
+    ):
+        from repro.profiler.breakdown import speedup_report
+
+        baseline, flash = suite_profiles["stable_diffusion"]
+        report = speedup_report(baseline.trace, flash.trace)
+        assert sd_diff.end_to_end_speedup == pytest.approx(
+            report.end_to_end_speedup
+        )
+
+    def test_attention_is_the_largest_saving(self, sd_diff):
+        assert sd_diff.largest_saving().key == "attention"
+
+    def test_category_deltas_sum_to_total(self, sd_diff):
+        total_delta = sum(
+            entry.delta_s for entry in sd_diff.by_category
+        )
+        assert total_delta == pytest.approx(
+            sd_diff.total_after_s - sd_diff.total_before_s
+        )
+
+    def test_module_deltas_sum_to_total(self, sd_diff):
+        total_delta = sum(entry.delta_s for entry in sd_diff.by_module)
+        assert total_delta == pytest.approx(
+            sd_diff.total_after_s - sd_diff.total_before_s
+        )
+
+    def test_flash_has_no_regressions(self, sd_diff):
+        assert sd_diff.regressions() == []
+
+    def test_entries_sorted_biggest_saving_first(self, sd_diff):
+        deltas = [entry.delta_s for entry in sd_diff.by_category]
+        assert deltas == sorted(deltas)
+
+    def test_vanished_bucket_speedup_is_inf(self):
+        from repro.profiler.diff import DiffEntry
+
+        assert DiffEntry("x", 1.0, 0.0).speedup == float("inf")
+        assert DiffEntry("x", 0.0, 0.0).speedup == 1.0
+
+    def test_depth_controls_module_keys(self, suite_profiles):
+        baseline, flash = suite_profiles["stable_diffusion"]
+        shallow = diff_traces(baseline.trace, flash.trace, depth=1)
+        deep = diff_traces(baseline.trace, flash.trace, depth=2)
+        assert len(deep.by_module) >= len(shallow.by_module)
+
+    def test_empty_trace_rejected(self, suite_profiles):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        with pytest.raises(ValueError):
+            diff_traces(baseline.trace, Trace())
+
+    def test_render_readable(self, sd_diff):
+        text = render_diff(sd_diff)
+        assert "end-to-end" in text
+        assert "By operator category" in text
+        assert "attention" in text
+
+
+class TestModelCards:
+    def test_suite_cards_complete(self, suite_profiles):
+        from repro.models.cards import suite_cards
+
+        cards = suite_cards()
+        assert len(cards) == 8
+        names = {card.name for card in cards}
+        assert "stable_diffusion" in names
+
+    def test_card_markdown(self, suite_profiles):
+        from repro.models.cards import suite_cards
+
+        card = next(
+            card for card in suite_cards()
+            if card.name == "stable_diffusion"
+        )
+        text = card.to_markdown()
+        assert "StableDiffusion" in text
+        assert "unet" in text
+        assert "Flash Attention" in text
+        assert card.flash_speedup > 1.0
+
+    def test_card_facts_consistent(self, suite_profiles, suite_models):
+        from repro.models.cards import suite_cards
+
+        for card in suite_cards():
+            model = suite_models[card.name]
+            assert card.parameters == model.param_count()
+            assert card.attention_calls > 0
+            assert card.max_seq_len > 0

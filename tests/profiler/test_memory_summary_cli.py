@@ -1,0 +1,170 @@
+"""Memory footprint, component summary and CLI tests."""
+
+import json
+
+import pytest
+
+from repro.hw.spec import A100_80GB, V100_32GB
+from repro.ir.context import ExecutionContext
+from repro.ir.trace import Trace
+from repro.profiler.cli import main as profiler_cli
+from repro.profiler.memory_footprint import (
+    estimate_inference_memory,
+    kv_cache_bytes,
+    suite_kv_cache_bytes,
+)
+from repro.profiler.summary import render_summary, summarize_components
+
+
+class TestKvCache:
+    def test_llama_cache_size(self):
+        # 2 (K,V) * 32 layers * 4096 ctx * 4096 dim * 2 bytes = 2 GiB.
+        bytes_ = kv_cache_bytes(layers=32, max_seq=4096, dim=4096)
+        assert bytes_ == pytest.approx(2 * 32 * 4096 * 4096 * 2)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            kv_cache_bytes(layers=0, max_seq=1, dim=1)
+
+    def test_suite_llama_has_cache(self, suite_models):
+        assert suite_kv_cache_bytes("llama", suite_models["llama"]) > 1e9
+
+    def test_suite_diffusion_has_none(self, suite_models):
+        assert suite_kv_cache_bytes(
+            "stable_diffusion", suite_models["stable_diffusion"]
+        ) == 0.0
+
+    def test_parti_recompute_mode_has_none(self, suite_models):
+        assert suite_kv_cache_bytes("parti", suite_models["parti"]) == 0.0
+
+
+class TestFootprint:
+    def test_all_suite_models_fit_in_80gb(
+        self, suite_models, suite_profiles
+    ):
+        """The paper's single-GPU premise (Section III)."""
+        for name, model in suite_models.items():
+            baseline, _ = suite_profiles[name]
+            footprint = estimate_inference_memory(
+                model,
+                baseline.trace,
+                kv_bytes=suite_kv_cache_bytes(name, model),
+            )
+            assert footprint.fits(A100_80GB), (
+                f"{name}: {footprint.total_bytes/1e9:.1f} GB"
+            )
+
+    def test_parti_does_not_fit_on_v100(
+        self, suite_models, suite_profiles
+    ):
+        """Table I memory 'High': 20B fp16 params alone are 40 GB."""
+        baseline, _ = suite_profiles["parti"]
+        footprint = estimate_inference_memory(
+            suite_models["parti"], baseline.trace
+        )
+        assert not footprint.fits(V100_32GB)
+
+    def test_sd_peak_transient_is_attention_matrix(
+        self, suite_models, suite_profiles
+    ):
+        baseline, _ = suite_profiles["stable_diffusion"]
+        footprint = estimate_inference_memory(
+            suite_models["stable_diffusion"], baseline.trace
+        )
+        assert "attn" in footprint.peak_event
+        # The 4096^2 similarity matrix across heads and CFG batch.
+        assert footprint.peak_transient_bytes > 0.5e9
+
+    def test_memory_rank_matches_table1(
+        self, suite_models, suite_profiles
+    ):
+        def total(name):
+            baseline, _ = suite_profiles[name]
+            return estimate_inference_memory(
+                suite_models[name], baseline.trace,
+                kv_bytes=suite_kv_cache_bytes(name, suite_models[name]),
+            ).total_bytes
+
+        assert total("parti") > total("muse")
+        assert total("parti") > total("stable_diffusion")
+
+    def test_empty_trace_rejected(self, suite_models):
+        with pytest.raises(ValueError):
+            estimate_inference_memory(
+                suite_models["stable_diffusion"], Trace()
+            )
+
+    def test_invalid_margin(self, suite_models, suite_profiles):
+        baseline, _ = suite_profiles["llama"]
+        footprint = estimate_inference_memory(
+            suite_models["llama"], baseline.trace
+        )
+        with pytest.raises(ValueError):
+            footprint.fits(A100_80GB, margin=0.0)
+
+
+class TestSummary:
+    def test_components_cover_total_time(
+        self, suite_models, suite_profiles
+    ):
+        model = suite_models["stable_diffusion"]
+        baseline, _ = suite_profiles["stable_diffusion"]
+        summaries = summarize_components(model, baseline.trace)
+        assert sum(s.time_s for s in summaries) == pytest.approx(
+            baseline.trace.total_time_s
+        )
+
+    def test_aliased_child_names_resolved(
+        self, suite_models, suite_profiles
+    ):
+        """The attr `text_encoder` holds a module named
+        clip_text_encoder; its kernels must not land in <other>."""
+        model = suite_models["stable_diffusion"]
+        baseline, _ = suite_profiles["stable_diffusion"]
+        by_name = {
+            s.name: s for s in summarize_components(model, baseline.trace)
+        }
+        assert by_name["text_encoder"].time_s > 0
+
+    def test_sorted_by_time(self, suite_models, suite_profiles):
+        model = suite_models["stable_diffusion"]
+        baseline, _ = suite_profiles["stable_diffusion"]
+        summaries = summarize_components(model, baseline.trace)
+        times = [s.time_s for s in summaries]
+        assert times == sorted(times, reverse=True)
+
+    def test_render_contains_components(
+        self, suite_models, suite_profiles
+    ):
+        model = suite_models["stable_diffusion"]
+        baseline, _ = suite_profiles["stable_diffusion"]
+        rendered = render_summary(model, baseline.trace)
+        assert "unet" in rendered
+        assert "vae_decoder" in rendered
+
+
+class TestCli:
+    def test_basic_profile(self, capsys):
+        assert profiler_cli(["muse"]) == 0
+        out = capsys.readouterr().out
+        assert "Operator breakdown" in out
+        assert "memory:" in out
+
+    def test_compare_flash(self, capsys):
+        assert profiler_cli(["muse", "--compare-flash"]) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end" in out
+
+    def test_gpu_option(self, capsys):
+        assert profiler_cli(["muse", "--gpu", "H100-80GB-SXM"]) == 0
+        assert "H100" in capsys.readouterr().out
+
+    def test_save_trace(self, tmp_path, capsys):
+        path = tmp_path / "muse.json"
+        assert profiler_cli(["muse", "--save-trace", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            profiler_cli(["dalle3"])

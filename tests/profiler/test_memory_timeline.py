@@ -1,0 +1,92 @@
+"""Memory-timeline tests."""
+
+import pytest
+
+from repro.ir.context import ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.ir.trace import Trace
+from repro.profiler.memory_timeline import memory_timeline
+
+
+@pytest.fixture(scope="module")
+def sd_unet_timeline():
+    from repro.models.stable_diffusion import StableDiffusion
+
+    model = StableDiffusion()
+    ctx = ExecutionContext()
+    model.unet(ctx, TensorSpec((2, 4, 64, 64)))
+    return memory_timeline(ctx.trace)
+
+
+class TestTimeline:
+    def test_one_sample_per_event(self, sd_unet_timeline):
+        assert len(sd_unet_timeline.samples) > 500
+
+    def test_samples_in_time_order(self, sd_unet_timeline):
+        starts = [s.start_s for s in sd_unet_timeline.samples]
+        assert starts == sorted(starts)
+
+    def test_peak_is_similarity_matrix(self, sd_unet_timeline):
+        """The O(L^4) object: peak transient memory sits in the
+        full-resolution attention kernels."""
+        peak = sd_unet_timeline.peak
+        assert peak.op_name.startswith("attn")
+        assert "attn_level0" in peak.module_path
+
+    def test_peak_exceeds_mean_substantially(self, sd_unet_timeline):
+        assert sd_unet_timeline.peak_to_mean > 3.0
+
+    def test_means_ordered(self, sd_unet_timeline):
+        assert 0 < sd_unet_timeline.time_weighted_mean_bytes
+        assert (
+            sd_unet_timeline.time_weighted_mean_bytes
+            <= sd_unet_timeline.peak_bytes
+        )
+
+    def test_downsampling(self, sd_unet_timeline):
+        few = sd_unet_timeline.downsampled(16)
+        assert len(few) <= len(sd_unet_timeline.samples)
+        assert len(few) >= 16
+
+    def test_downsample_invalid(self, sd_unet_timeline):
+        with pytest.raises(ValueError):
+            sd_unet_timeline.downsampled(0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            memory_timeline(Trace())
+
+    def test_cyclic_pattern_repeats_across_steps(self):
+        """Two denoise steps produce the same memory pattern — the
+        cyclic requirement of Section V."""
+        from repro.models.stable_diffusion import StableDiffusion
+
+        model = StableDiffusion()
+        ctx = ExecutionContext()
+        model.unet(ctx, TensorSpec((2, 4, 64, 64)))
+        model.unet(ctx, TensorSpec((2, 4, 64, 64)))
+        timeline = memory_timeline(ctx.trace)
+        values = [s.live_bytes for s in timeline.samples]
+        half = len(values) // 2
+        assert values[:half] == values[half:]
+
+
+class TestVariants:
+    def test_variant_registry(self):
+        from repro.models.registry import build_model, variant_names
+
+        assert "stable_diffusion@256" in variant_names()
+        small = build_model("stable_diffusion@256")
+        assert small.config.image_size == 256
+
+    def test_parti_kv_variant(self):
+        from repro.models.registry import build_model
+
+        parti = build_model("parti@kv_cache")
+        assert parti.config.use_kv_cache
+
+    def test_unknown_variant_lists_options(self):
+        from repro.models.registry import build_model
+
+        with pytest.raises(ValueError, match="stable_diffusion@256"):
+            build_model("sdxl")

@@ -1,0 +1,134 @@
+"""Sequence-length profiler tests (with hypothesis on period finding)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.context import ExecutionContext
+from repro.ir.ops import AttentionKind, AttentionRole
+from repro.layers.attention import emit_attention_core
+from repro.profiler.seqlen import (
+    SeqLenSample,
+    fundamental_period,
+    sequence_length_distribution,
+    sequence_length_profile,
+)
+
+
+def emit_seq(ctx, seq, role=AttentionRole.SELF):
+    emit_attention_core(
+        ctx,
+        batch=1,
+        num_heads=2,
+        seq_q=seq,
+        seq_kv=seq if role is AttentionRole.SELF else 77,
+        head_dim=32,
+        role=role,
+        kind=AttentionKind.SPATIAL,
+    )
+
+
+def make_samples(values):
+    return [
+        SeqLenSample(
+            call_index=index,
+            seq_q=value,
+            seq_kv=value,
+            role=AttentionRole.SELF,
+            module_path="m",
+        )
+        for index, value in enumerate(values)
+    ]
+
+
+class TestProfile:
+    def test_profile_in_call_order(self):
+        ctx = ExecutionContext()
+        for seq in (64, 16, 64):
+            emit_seq(ctx, seq)
+        profile = sequence_length_profile(ctx.trace)
+        assert [sample.seq_q for sample in profile] == [64, 16, 64]
+
+    def test_cross_attention_excluded_by_default(self):
+        ctx = ExecutionContext()
+        emit_seq(ctx, 64)
+        emit_seq(ctx, 64, role=AttentionRole.CROSS)
+        assert len(sequence_length_profile(ctx.trace)) == 1
+        assert len(
+            sequence_length_profile(ctx.trace, include_cross=True)
+        ) == 2
+
+    def test_call_indices_renumbered(self):
+        ctx = ExecutionContext()
+        for seq in (64, 16):
+            emit_seq(ctx, seq)
+        profile = sequence_length_profile(ctx.trace)
+        assert [sample.call_index for sample in profile] == [0, 1]
+
+
+class TestFundamentalPeriod:
+    def test_repeating_pattern_reduced(self):
+        samples = make_samples([4, 2, 1, 2] * 5)
+        assert [s.seq_q for s in fundamental_period(samples)] == [
+            4, 2, 1, 2,
+        ]
+
+    def test_constant_series_period_one(self):
+        samples = make_samples([7] * 12)
+        assert len(fundamental_period(samples)) == 1
+
+    def test_non_repeating_returned_whole(self):
+        samples = make_samples([1, 2, 3, 4, 5])
+        assert len(fundamental_period(samples)) == 5
+
+    def test_empty_input(self):
+        assert fundamental_period([]) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pattern=st.lists(
+        st.integers(1, 64), min_size=1, max_size=6
+    ),
+    repeats=st.integers(1, 5),
+)
+def test_period_divides_and_reconstructs(pattern, repeats):
+    samples = make_samples(pattern * repeats)
+    period = fundamental_period(samples)
+    values = [s.seq_q for s in samples]
+    period_values = [s.seq_q for s in period]
+    assert len(values) % len(period_values) == 0
+    reconstructed = period_values * (len(values) // len(period_values))
+    assert reconstructed == values
+    # Period is minimal: no shorter divisor reconstructs the series.
+    for shorter in range(1, len(period_values)):
+        if len(values) % shorter:
+            continue
+        candidate = values[:shorter] * (len(values) // shorter)
+        assert candidate != values
+
+
+class TestDistribution:
+    def test_counts_and_frequency(self):
+        ctx = ExecutionContext()
+        for seq in (64, 64, 16):
+            emit_seq(ctx, seq)
+        dist = sequence_length_distribution(ctx.trace)
+        assert dist.counts == {64: 2, 16: 1}
+        assert dist.total_calls == 3
+        assert dist.frequency(64) == pytest.approx(2 / 3)
+        assert dist.frequency(999) == 0.0
+
+    def test_dynamic_range(self):
+        ctx = ExecutionContext()
+        for seq in (256, 64):
+            emit_seq(ctx, seq)
+        dist = sequence_length_distribution(ctx.trace)
+        assert dist.dynamic_range == pytest.approx(4.0)
+        assert dist.distinct_lengths == [64, 256]
+
+    def test_empty_trace_rejected(self):
+        from repro.ir.trace import Trace
+
+        with pytest.raises(ValueError):
+            sequence_length_distribution(Trace())

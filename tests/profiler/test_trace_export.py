@@ -1,0 +1,77 @@
+"""Chrome-trace export/parse round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.ir.context import ExecutionContext
+from repro.ir.ops import Elementwise, Gemm, OpCategory
+from repro.profiler.trace_export import (
+    category_times_from_records,
+    load_chrome_trace,
+    parse_chrome_trace,
+    save_chrome_trace,
+    to_chrome_trace,
+)
+
+
+@pytest.fixture
+def trace():
+    ctx = ExecutionContext()
+    with ctx.named_scope("unet"):
+        ctx.emit(Gemm("proj", m=128, n=128, k=128))
+        ctx.emit(Elementwise("gelu", numel=4096))
+    return ctx.trace
+
+
+class TestExport:
+    def test_event_count(self, trace):
+        payload = to_chrome_trace(trace)
+        complete = [
+            event for event in payload["traceEvents"]
+            if event.get("ph") == "X"
+        ]
+        assert len(complete) == 2
+
+    def test_durations_in_microseconds(self, trace):
+        payload = to_chrome_trace(trace)
+        event = next(
+            event for event in payload["traceEvents"]
+            if event.get("ph") == "X"
+        )
+        source = trace.events[0]
+        assert event["dur"] == pytest.approx(source.cost.time_s * 1e6)
+
+    def test_module_annotation_preserved(self, trace):
+        payload = to_chrome_trace(trace)
+        event = next(
+            event for event in payload["traceEvents"]
+            if event.get("ph") == "X"
+        )
+        assert event["args"]["module"] == "unet"
+
+    def test_json_serializable(self, trace):
+        json.dumps(to_chrome_trace(trace))
+
+
+class TestRoundTrip:
+    def test_parse_recovers_records(self, trace):
+        records = parse_chrome_trace(to_chrome_trace(trace))
+        assert [record["name"] for record in records] == ["proj", "gelu"]
+
+    def test_category_times_match_breakdown(self, trace):
+        records = parse_chrome_trace(to_chrome_trace(trace))
+        times = category_times_from_records(records)
+        direct = trace.time_by_category()
+        for category, time_s in direct.items():
+            assert times[category] == pytest.approx(time_s, rel=1e-6)
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = save_chrome_trace(trace, tmp_path / "trace.json")
+        records = load_chrome_trace(path)
+        assert len(records) == 2
+        assert records[0]["category"] == OpCategory.LINEAR.value
+
+    def test_metadata_events_ignored(self):
+        payload = {"traceEvents": [{"ph": "M", "name": "gpu"}]}
+        assert parse_chrome_trace(payload) == []

@@ -1,0 +1,108 @@
+"""Dynamic-batching server tests."""
+
+import pytest
+
+from repro.serving.batching import (
+    interpolated_batch_latency,
+    mean_batch_size,
+    simulate_batching_server,
+)
+from repro.serving.queueing import simulate_queue
+from repro.serving.workload import Request
+
+
+def burst(count: int, spacing: float, service: float = 1.0):
+    return [
+        Request(
+            request_id=index,
+            arrival_s=index * spacing,
+            model="m",
+            service_s=service,
+        )
+        for index in range(count)
+    ]
+
+
+# A realistic sub-linear batch curve: batch 8 costs 3x batch 1.
+CURVE = interpolated_batch_latency({1: 1.0, 2: 1.4, 4: 2.0, 8: 3.0})
+
+
+class TestBatchLatencyFn:
+    def test_measured_points_exact(self):
+        assert CURVE(1) == 1.0
+        assert CURVE(4) == 2.0
+
+    def test_interpolation_between_points(self):
+        assert CURVE(3) == pytest.approx(1.7)
+
+    def test_extrapolation_uses_marginal_cost(self):
+        # Last segment slope: (3.0 - 2.0) / 4 = 0.25 per request.
+        assert CURVE(12) == pytest.approx(3.0 + 4 * 0.25)
+
+    def test_below_smallest_point_clamps(self):
+        curve = interpolated_batch_latency({2: 1.0, 4: 1.5})
+        assert curve(1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interpolated_batch_latency({})
+        with pytest.raises(ValueError):
+            interpolated_batch_latency({1: 2.0, 2: 1.0})  # decreasing
+        with pytest.raises(ValueError):
+            CURVE(0)
+
+
+class TestBatchingServer:
+    def test_idle_arrivals_run_alone(self):
+        report, batches = simulate_batching_server(
+            burst(5, spacing=10.0), CURVE, max_batch=8
+        )
+        assert mean_batch_size(batches) == 1.0
+        assert report.mean_queueing_s == pytest.approx(0.0)
+
+    def test_overload_grows_batches(self):
+        report, batches = simulate_batching_server(
+            burst(64, spacing=0.05), CURVE, max_batch=8
+        )
+        assert mean_batch_size(batches) > 4.0
+        del report
+
+    def test_max_batch_respected(self):
+        _, batches = simulate_batching_server(
+            burst(64, spacing=0.01), CURVE, max_batch=8
+        )
+        assert max(batch.size for batch in batches) <= 8
+
+    def test_all_requests_complete_once(self):
+        report, _ = simulate_batching_server(
+            burst(30, spacing=0.2), CURVE
+        )
+        ids = [record.request.request_id for record in report.completed]
+        assert sorted(ids) == list(range(30))
+
+    def test_batching_beats_fifo_under_load(self):
+        """The point of batching: sub-linear batch cost turns backlog
+        into throughput."""
+        requests = burst(60, spacing=0.3, service=1.0)
+        fifo = simulate_queue(requests, servers=1)
+        batched, _ = simulate_batching_server(
+            requests, CURVE, max_batch=8
+        )
+        assert batched.mean_latency_s < fifo.mean_latency_s / 2
+        assert batched.makespan_s < fifo.makespan_s
+
+    def test_batch_members_share_timeline(self):
+        report, batches = simulate_batching_server(
+            burst(16, spacing=0.0), CURVE, max_batch=4
+        )
+        assert len(batches) == 4
+        finishes = {record.finish_s for record in report.completed}
+        assert len(finishes) == 4  # one finish time per batch
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_batching_server([], CURVE)
+        with pytest.raises(ValueError):
+            simulate_batching_server(burst(2, 1.0), CURVE, max_batch=0)
+        with pytest.raises(ValueError):
+            mean_batch_size([])

@@ -1,0 +1,180 @@
+"""Workload generation and queue-simulation tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.queueing import servers_for_slo, simulate_queue
+from repro.serving.workload import (
+    Request,
+    WorkloadMix,
+    generate_requests,
+    suite_mix_from_profiles,
+)
+
+
+@pytest.fixture
+def mix():
+    return WorkloadMix(
+        shares={"sd": 0.7, "muse": 0.3},
+        service_s={"sd": 1.0, "muse": 0.5},
+    )
+
+
+class TestWorkloadMix:
+    def test_mean_service(self, mix):
+        assert mix.mean_service_s == pytest.approx(0.85)
+
+    def test_saturation_rate(self, mix):
+        assert mix.saturation_rate() == pytest.approx(1 / 0.85)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(shares={"a": 0.5}, service_s={"a": 1.0})
+
+    def test_keys_must_match(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(shares={"a": 1.0}, service_s={"b": 1.0})
+
+    def test_from_suite_profiles(self, suite_profiles):
+        mix = suite_mix_from_profiles(
+            suite_profiles,
+            shares={"stable_diffusion": 0.8, "muse": 0.2},
+        )
+        flash_sd = suite_profiles["stable_diffusion"][1]
+        assert mix.service_s["stable_diffusion"] == pytest.approx(
+            flash_sd.total_time_s
+        )
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self, mix):
+        a = generate_requests(
+            mix, arrival_rate=2.0, duration_s=100.0, seed=3
+        )
+        b = generate_requests(
+            mix, arrival_rate=2.0, duration_s=100.0, seed=3
+        )
+        assert a == b
+
+    def test_rate_approximately_respected(self, mix):
+        requests = generate_requests(
+            mix, arrival_rate=5.0, duration_s=500.0, seed=1
+        )
+        assert len(requests) == pytest.approx(2500, rel=0.1)
+
+    def test_mix_approximately_respected(self, mix):
+        requests = generate_requests(
+            mix, arrival_rate=5.0, duration_s=500.0, seed=1
+        )
+        sd_share = sum(
+            1 for request in requests if request.model == "sd"
+        ) / len(requests)
+        assert sd_share == pytest.approx(0.7, abs=0.05)
+
+    def test_arrivals_sorted_within_duration(self, mix):
+        requests = generate_requests(
+            mix, arrival_rate=3.0, duration_s=50.0, seed=2
+        )
+        arrivals = [request.arrival_s for request in requests]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] < 50.0
+
+    def test_invalid_args(self, mix):
+        with pytest.raises(ValueError):
+            generate_requests(mix, arrival_rate=0.0, duration_s=10.0)
+        with pytest.raises(ValueError):
+            generate_requests(
+                mix, arrival_rate=1.0, duration_s=10.0,
+                service_jitter=1.5,
+            )
+
+
+def fixed_requests(count=10, service=1.0, spacing=2.0):
+    return [
+        Request(
+            request_id=index,
+            arrival_s=index * spacing,
+            model="m",
+            service_s=service,
+        )
+        for index in range(count)
+    ]
+
+
+class TestQueueSimulation:
+    def test_underloaded_has_no_queueing(self):
+        report = simulate_queue(fixed_requests(spacing=2.0, service=1.0))
+        assert report.mean_queueing_s == pytest.approx(0.0)
+        assert report.utilization == pytest.approx(0.5, abs=0.1)
+
+    def test_overloaded_queue_builds(self):
+        report = simulate_queue(fixed_requests(spacing=0.5, service=1.0))
+        assert report.mean_queueing_s > 1.0
+        latencies = [r.latency_s for r in report.completed]
+        assert latencies == sorted(latencies)  # linearly growing backlog
+
+    def test_two_servers_halve_backlog(self):
+        one = simulate_queue(fixed_requests(spacing=0.5, service=1.0))
+        two = simulate_queue(
+            fixed_requests(spacing=0.5, service=1.0), servers=2
+        )
+        assert two.mean_latency_s < one.mean_latency_s
+
+    def test_percentiles_ordered(self):
+        report = simulate_queue(fixed_requests(spacing=0.5, service=1.0))
+        assert report.latency_percentile(50) <= (
+            report.latency_percentile(95)
+        ) <= report.latency_percentile(100)
+
+    def test_invalid_percentile(self):
+        report = simulate_queue(fixed_requests())
+        with pytest.raises(ValueError):
+            report.latency_percentile(0.0)
+
+    def test_empty_requests_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_queue([])
+
+    def test_throughput_conservation(self):
+        requests = fixed_requests(count=20, spacing=1.0, service=0.5)
+        report = simulate_queue(requests)
+        assert len(report.completed) == 20
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        servers=st.integers(1, 4),
+        spacing=st.floats(0.1, 3.0),
+        service=st.floats(0.1, 3.0),
+    )
+    def test_latency_at_least_service(self, servers, spacing, service):
+        report = simulate_queue(
+            fixed_requests(count=12, spacing=spacing, service=service),
+            servers=servers,
+        )
+        assert all(
+            record.latency_s >= record.request.service_s - 1e-12
+            for record in report.completed
+        )
+        assert 0.0 < report.utilization <= 1.0 + 1e-9
+
+
+class TestSlo:
+    def test_more_load_needs_more_servers(self):
+        light = fixed_requests(count=20, spacing=2.0, service=1.0)
+        heavy = fixed_requests(count=20, spacing=0.3, service=1.0)
+        assert servers_for_slo(light, p95_slo_s=1.5) == 1
+        needed = servers_for_slo(heavy, p95_slo_s=1.5)
+        assert needed is not None and needed > 1
+
+    def test_unreachable_slo_returns_none(self):
+        requests = fixed_requests(count=5, spacing=0.1, service=1.0)
+        assert servers_for_slo(
+            requests, p95_slo_s=0.5, max_servers=4
+        ) is None
+
+    def test_invalid_slo(self):
+        with pytest.raises(ValueError):
+            servers_for_slo(fixed_requests(), p95_slo_s=0.0)

@@ -1,0 +1,130 @@
+"""Reporting helpers and ExperimentResult plumbing tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments.base import ClaimCheck, ExperimentResult
+from repro.reporting.table import (
+    format_bytes,
+    format_flops,
+    format_value,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatValue:
+    def test_ints_pass_through(self):
+        assert format_value(42) == "42"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_small_floats_scientific(self):
+        assert "e" in format_value(1e-6)
+
+    def test_large_floats_grouped(self):
+        assert format_value(1234567.0) == "1,234,567"
+
+    def test_mid_floats_sig_figs(self):
+        assert format_value(3.14159) == "3.14"
+
+    def test_strings_untouched(self):
+        assert format_value("conv") == "conv"
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]]
+        )
+        pipe_lines = [
+            line for line in text.splitlines() if "|" in line
+        ]
+        assert len(pipe_lines) == 3  # header + 2 rows
+        assert len({line.index("|") for line in pipe_lines}) == 1
+
+    def test_title_on_first_line(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_series_is_table(self):
+        text = render_series("frames", ["flops"], [[1, 2.0]])
+        assert "frames" in text and "flops" in text
+
+
+class TestByteFlopsFormat:
+    def test_bytes_units(self):
+        assert format_bytes(512) == "512.00 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert format_bytes(3 * 1024**3) == "3.00 GiB"
+
+    def test_flops_units(self):
+        assert format_flops(1.5e12) == "1.50 TFLOP"
+        assert format_flops(2e9) == "2.00 GFLOP"
+
+    def test_huge_values_saturate_units(self):
+        assert "TiB" in format_bytes(1e18)
+        assert "PFLOP" in format_flops(1e20)
+
+
+@given(
+    rows=st.lists(
+        st.lists(
+            st.one_of(
+                st.integers(-10**6, 10**6),
+                st.floats(
+                    allow_nan=False, allow_infinity=False,
+                    min_value=-1e12, max_value=1e12,
+                ),
+                st.text(
+                    alphabet=st.characters(
+                        whitelist_categories=("L", "N")
+                    ),
+                    max_size=12,
+                ),
+            ),
+            min_size=2, max_size=2,
+        ),
+        min_size=1, max_size=8,
+    )
+)
+def test_render_table_never_crashes(rows):
+    text = render_table(["a", "b"], rows)
+    assert len(text.splitlines()) == len(rows) + 2
+
+
+class TestExperimentResult:
+    def _result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="figX",
+            title="Test",
+            headers=["k", "v"],
+            rows=[["a", 1]],
+            claims=[
+                ClaimCheck("c1", "10", "11", True),
+                ClaimCheck("c2", "10", "99", False),
+            ],
+            notes=["note"],
+        )
+
+    def test_all_claims_hold_false_when_any_fails(self):
+        assert not self._result().all_claims_hold
+
+    def test_render_marks_pass_and_miss(self):
+        text = self._result().render()
+        assert "PASS" in text and "MISS" in text
+        assert "note: note" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        payload = json.loads(json.dumps(self._result().to_dict()))
+        assert payload["experiment_id"] == "figX"
+        assert payload["claims"][1]["holds"] is False
+        assert payload["rows"] == [["a", "1"]]

@@ -1,0 +1,171 @@
+"""FSDP step-cost and training-memory tests."""
+
+import pytest
+
+from repro.ir.context import AttentionImpl, ExecutionContext
+from repro.ir.tensor import TensorSpec
+from repro.models.llama import Llama, LlamaConfig
+from repro.models.stable_diffusion import StableDiffusion
+from repro.training.fsdp import fsdp_step_cost, scaling_sweep
+from repro.training.interconnect import DGX_A100, DGX_H100
+from repro.training.memory import (
+    BYTES_PER_PARAM_TRAINING,
+    activation_bytes_from_trace,
+    estimate_training_memory,
+    minimum_gpus_for_state,
+)
+
+
+@pytest.fixture(scope="module")
+def sd_forward():
+    """One SD UNet training forward at batch 1, flash attention."""
+    model = StableDiffusion()
+    ctx = ExecutionContext(attention_impl=AttentionImpl.FLASH)
+    model.unet(ctx, TensorSpec((1, 4, 64, 64)))
+    return model, ctx.trace
+
+
+class TestFsdpStep:
+    def test_step_decomposition(self, sd_forward):
+        model, trace = sd_forward
+        cost = fsdp_step_cost(trace, model.param_count(), world_size=64)
+        assert cost.backward_compute_s == pytest.approx(
+            2 * cost.forward_compute_s
+        )
+        assert cost.step_time_s >= cost.compute_s
+        assert 0.0 <= cost.communication_fraction < 1.0
+
+    def test_single_gpu_has_no_communication(self, sd_forward):
+        model, trace = sd_forward
+        cost = fsdp_step_cost(trace, model.param_count(), world_size=1)
+        assert cost.communication_s == 0.0
+
+    def test_communication_grows_across_nodes(self, sd_forward):
+        model, trace = sd_forward
+        intra = fsdp_step_cost(trace, model.param_count(), world_size=8)
+        inter = fsdp_step_cost(trace, model.param_count(), world_size=64)
+        assert inter.communication_s > 3 * intra.communication_s
+
+    def test_overlap_hides_communication(self, sd_forward):
+        model, trace = sd_forward
+        hidden = fsdp_step_cost(
+            trace, model.param_count(), world_size=64,
+            overlap_fraction=0.9,
+        )
+        exposed = fsdp_step_cost(
+            trace, model.param_count(), world_size=64,
+            overlap_fraction=0.0,
+        )
+        assert hidden.step_time_s < exposed.step_time_s
+
+    def test_h100_fabric_cheaper(self, sd_forward):
+        model, trace = sd_forward
+        a100 = fsdp_step_cost(
+            trace, model.param_count(), world_size=128,
+            interconnect=DGX_A100,
+        )
+        h100 = fsdp_step_cost(
+            trace, model.param_count(), world_size=128,
+            interconnect=DGX_H100,
+        )
+        assert h100.communication_s < a100.communication_s
+
+    def test_invalid_world_size(self, sd_forward):
+        model, trace = sd_forward
+        with pytest.raises(ValueError):
+            fsdp_step_cost(trace, model.param_count(), world_size=0)
+
+
+class TestScalingSweep:
+    def test_efficiency_non_increasing(self, sd_forward):
+        model, trace = sd_forward
+        points = scaling_sweep(
+            trace, model.param_count(), [8, 64, 512]
+        )
+        efficiencies = [p.scaling_efficiency for p in points]
+        assert efficiencies[0] == pytest.approx(1.0)
+        assert all(
+            a >= b - 1e-9 for a, b in zip(efficiencies, efficiencies[1:])
+        )
+
+    def test_throughput_grows_with_world(self, sd_forward):
+        model, trace = sd_forward
+        points = scaling_sweep(trace, model.param_count(), [8, 512])
+        assert points[1].samples_per_second > points[0].samples_per_second
+
+    def test_empty_sweep_rejected(self, sd_forward):
+        model, trace = sd_forward
+        with pytest.raises(ValueError):
+            scaling_sweep(trace, model.param_count(), [])
+
+
+class TestTrainingMemory:
+    def test_state_sharding(self, sd_forward):
+        model, trace = sd_forward
+        one = estimate_training_memory(model, trace, world_size=1)
+        many = estimate_training_memory(model, trace, world_size=64)
+        assert one.model_state_bytes == pytest.approx(
+            64 * many.model_state_bytes
+        )
+        assert one.activation_bytes == many.activation_bytes
+
+    def test_state_is_16_bytes_per_param(self, sd_forward):
+        model, trace = sd_forward
+        estimate = estimate_training_memory(model, trace, world_size=1)
+        assert estimate.model_state_bytes == pytest.approx(
+            model.param_count() * BYTES_PER_PARAM_TRAINING
+        )
+
+    def test_batch_scales_activations(self, sd_forward):
+        model, trace = sd_forward
+        small = estimate_training_memory(
+            model, trace, world_size=8, batch_per_gpu=1
+        )
+        big = estimate_training_memory(
+            model, trace, world_size=8, batch_per_gpu=8
+        )
+        assert big.activation_bytes == pytest.approx(
+            8 * small.activation_bytes
+        )
+
+    def test_activation_estimate_positive(self, sd_forward):
+        _, trace = sd_forward
+        assert activation_bytes_from_trace(trace) > 0
+
+    def test_invalid_checkpoint_fraction(self, sd_forward):
+        _, trace = sd_forward
+        with pytest.raises(ValueError):
+            activation_bytes_from_trace(trace, checkpoint_fraction=0.0)
+
+    def test_utilization_against_a100(self, sd_forward):
+        model, trace = sd_forward
+        estimate = estimate_training_memory(
+            model, trace, world_size=64, batch_per_gpu=8
+        )
+        assert 0.0 < estimate.utilization() < 2.0
+
+
+class TestFigure1Mechanism:
+    """The GPUs-per-parameter gap derived from the suite itself."""
+
+    def test_llm_needs_many_gpus_for_state(self):
+        big_llama = Llama(
+            LlamaConfig(dim=8192, num_layers=80, num_heads=64,
+                        ffn_hidden=28672)
+        )
+        assert big_llama.param_count() > 60e9
+        assert minimum_gpus_for_state(big_llama) >= 20
+
+    def test_tti_state_fits_on_one_gpu(self, sd_forward):
+        model, _ = sd_forward
+        assert minimum_gpus_for_state(model) == 1
+
+    def test_tti_memory_utilization_is_activation_bound(self, sd_forward):
+        """TTI training memory is dominated by activations, not state —
+        why Fig 1's memory utilization stays high even when the model
+        shards to almost nothing."""
+        model, trace = sd_forward
+        estimate = estimate_training_memory(
+            model, trace, world_size=512, batch_per_gpu=16
+        )
+        assert estimate.activation_bytes > 3 * estimate.model_state_bytes

@@ -1,0 +1,65 @@
+"""Interconnect model tests."""
+
+import pytest
+
+from repro.training.interconnect import (
+    DGX_A100,
+    DGX_H100,
+    InterconnectSpec,
+    nodes_for,
+)
+
+
+class TestSpec:
+    def test_positive_bandwidths_required(self):
+        with pytest.raises(ValueError):
+            InterconnectSpec("bad", 0.0, 1e9)
+
+    def test_intra_node_uses_nvlink(self):
+        assert DGX_A100.algorithm_bandwidth(8) == 300e9
+
+    def test_cross_node_uses_network(self):
+        assert DGX_A100.algorithm_bandwidth(16) == 25e9
+
+    def test_h100_fabric_faster(self):
+        assert DGX_H100.algorithm_bandwidth(64) > (
+            DGX_A100.algorithm_bandwidth(64)
+        )
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            DGX_A100.algorithm_bandwidth(0)
+
+
+class TestCollectives:
+    def test_single_gpu_is_free(self):
+        assert DGX_A100.all_gather_time(1e9, 1) == 0.0
+
+    def test_all_gather_includes_latency(self):
+        tiny = DGX_A100.all_gather_time(1.0, 8)
+        assert tiny >= DGX_A100.collective_latency_s
+
+    def test_ring_factor_approaches_one(self):
+        two = DGX_A100.all_gather_time(1e9, 2)
+        eight = DGX_A100.all_gather_time(1e9, 8)
+        # (w-1)/w factor: 0.5 vs 0.875 of the payload.
+        assert eight > 1.5 * two
+
+    def test_all_reduce_is_two_phases(self):
+        payload = 1e9
+        assert DGX_A100.all_reduce_time(payload, 8) == pytest.approx(
+            2 * DGX_A100.all_gather_time(payload, 8)
+        )
+
+    def test_cross_node_much_slower(self):
+        intra = DGX_A100.all_gather_time(1e9, 8)
+        inter = DGX_A100.all_gather_time(1e9, 16)
+        assert inter > 5 * intra
+
+
+class TestNodes:
+    def test_exact_fit(self):
+        assert nodes_for(64, DGX_A100) == 8
+
+    def test_partial_node_rounds_up(self):
+        assert nodes_for(9, DGX_A100) == 2

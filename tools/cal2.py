@@ -1,0 +1,49 @@
+import sys
+from dataclasses import replace
+from repro.ir.ops import OpCategory, AttentionKind
+from repro.profiler import profile_both, breakdown, speedup_report, temporal_spatial_report
+
+def rep(model, paper):
+    base, flash = profile_both(model)
+    r = speedup_report(base.trace, flash.trace)
+    bb, bf = breakdown(base.trace), breakdown(flash.trace)
+    print(f"  e2e {r.end_to_end_speedup:.3f} ({paper}) attnB {bb.fraction(OpCategory.ATTENTION):.2f} "
+          f"attnFA {bf.fraction(OpCategory.ATTENTION):.2f} convB {bb.fraction(OpCategory.CONV):.2f} "
+          f"convFA {bf.fraction(OpCategory.CONV):.2f} gnB {bb.fraction(OpCategory.GROUPNORM):.2f} modSpd {r.attention_module_speedup:.2f}")
+    return base, flash
+
+which = sys.argv[1]
+if which == "sd":
+    from repro.models.stable_diffusion import StableDiffusion, StableDiffusionConfig
+    cfg = StableDiffusionConfig()
+    for hd in (16, 24, 32, 40):
+        print(f"head_dim={hd}:")
+        rep(StableDiffusion(replace(cfg, unet=replace(cfg.unet, head_dim=hd))), 1.67)
+elif which == "imagen":
+    from repro.models.imagen import Imagen, ImagenConfig
+    cfg = ImagenConfig()
+    v = {
+      "xformer": replace(cfg, base_unet=replace(cfg.base_unet, attention_style="transformer", head_dim=64)),
+      "xformer_hd32": replace(cfg, base_unet=replace(cfg.base_unet, attention_style="transformer", head_dim=32)),
+      "xformer_hd32_d2": replace(cfg, base_unet=replace(cfg.base_unet, attention_style="transformer", head_dim=32, transformer_depth=2)),
+    }
+    for k, c in v.items():
+        print(k); rep(Imagen(c), 1.22)
+elif which == "mav":
+    from repro.models.make_a_video import MakeAVideo, MakeAVideoConfig
+    cfg = MakeAVideoConfig()
+    vs = {
+      "sp0": replace(cfg, decoder_unet=replace(cfg.decoder_unet, attention_levels=(0,1,2,3))),
+      "sp0_noT0": replace(cfg,
+          decoder_unet=replace(cfg.decoder_unet, attention_levels=(0,1,2,3), temporal_attention_levels=(1,2,3)),
+          interpolation_unet=replace(cfg.interpolation_unet, attention_levels=(1,2,3), temporal_attention_levels=(1,2,3)),
+          sr1_unet=replace(cfg.sr1_unet, temporal_attention_levels=(3,))),
+      "hd32": replace(cfg,
+          decoder_unet=replace(cfg.decoder_unet, attention_levels=(0,1,2,3), head_dim=32),
+          sr1_unet=replace(cfg.sr1_unet, temporal_attention_levels=(2,3))),
+    }
+    for k, c in vs.items():
+        print(k)
+        base, flash = rep(MakeAVideo(c), 1.06)
+        ts = temporal_spatial_report(base.trace)
+        print(f"  fig11 time {ts.time_ratio:.2f} (2.0) flops {ts.flop_ratio:.2f} (9.0)")

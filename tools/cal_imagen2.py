@@ -1,0 +1,14 @@
+from dataclasses import replace
+from repro.ir.ops import OpCategory
+from repro.models.imagen import Imagen, ImagenConfig
+from repro.profiler import profile_both, breakdown, speedup_report
+cfg = ImagenConfig()
+for depth, sr1, sr2 in [(2,8,4),(3,8,4),(3,6,3),(2,6,3)]:
+    c = replace(cfg, sr1_steps=sr1, sr2_steps=sr2,
+                base_unet=replace(cfg.base_unet, transformer_depth=depth))
+    base, flash = profile_both(Imagen(c))
+    r = speedup_report(base.trace, flash.trace)
+    bb, bf = breakdown(base.trace), breakdown(flash.trace)
+    print(f"depth{depth} sr{sr1}/{sr2}: e2e {r.end_to_end_speedup:.3f} (1.22) "
+          f"attnB {bb.fraction(OpCategory.ATTENTION):.2f} convB {bb.fraction(OpCategory.CONV):.2f} "
+          f"convFA {bf.fraction(OpCategory.CONV):.2f} gnB {bb.fraction(OpCategory.GROUPNORM):.2f}")

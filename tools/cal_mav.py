@@ -1,0 +1,48 @@
+from dataclasses import replace
+from repro.ir import ExecutionContext
+from repro.ir.ops import AttentionKind
+from repro.models.make_a_video import MakeAVideo, MakeAVideoConfig
+from repro.profiler.breakdown import _module_time_of_kind, _matmul_flops_of_kind, temporal_spatial_report
+from repro.profiler import profile_both, speedup_report
+
+def stage_report(cfg, label):
+    m = MakeAVideo(cfg)
+    ctx = ExecutionContext()
+    m.run_inference(ctx)
+    tr = ctx.trace
+    print(f"== {label}: total {tr.total_time_s:.1f}s")
+    for stage in ("decoder", "interpolation", "sr1", "sr2"):
+        sub = tr.filter(lambda e, stage=stage: e.module_path.split(".")[0] == stage)
+        st = _module_time_of_kind(sub, AttentionKind.SPATIAL); tt = _module_time_of_kind(sub, AttentionKind.TEMPORAL)
+        sf = _matmul_flops_of_kind(sub, AttentionKind.SPATIAL); tf = _matmul_flops_of_kind(sub, AttentionKind.TEMPORAL)
+        print(f"  {stage:14s} time {sub.total_time_s:6.2f}s  spT {st*1e3:8.1f}ms tmpT {tt*1e3:8.1f}ms  spF {sf/1e12:7.2f}T tmpF {tf/1e12:7.2f}T")
+    ts = temporal_spatial_report(tr)
+    print(f"  AGG time ratio {ts.time_ratio:.2f} (2.0)  flops ratio {ts.flop_ratio:.2f} (9.0)")
+
+cfg = MakeAVideoConfig()
+stage_report(cfg, "default")
+
+from repro.profiler import profile_both, speedup_report
+from repro.ir.ops import OpCategory
+cfg = MakeAVideoConfig()
+variants = {
+  "A_noSR1tmp_hd128": replace(cfg,
+      decoder_unet=replace(cfg.decoder_unet, head_dim=128),
+      interpolation_unet=replace(cfg.interpolation_unet, head_dim=128),
+      sr1_unet=replace(cfg.sr1_unet, temporal=True, temporal_attention_levels=())),
+  "B_A_plus_interp_sp123": replace(cfg,
+      decoder_unet=replace(cfg.decoder_unet, head_dim=128),
+      interpolation_unet=replace(cfg.interpolation_unet, head_dim=128, attention_levels=(1,2,3)),
+      sr1_unet=replace(cfg.sr1_unet, temporal_attention_levels=())),
+  "C_B_hd64": replace(cfg,
+      interpolation_unet=replace(cfg.interpolation_unet, attention_levels=(1,2,3)),
+      sr1_unet=replace(cfg.sr1_unet, temporal_attention_levels=())),
+}
+for k, c in variants.items():
+    stage_report(c, k)
+    m = MakeAVideo(c)
+    base, flash = profile_both(m)
+    r = speedup_report(base.trace, flash.trace)
+    from repro.profiler import breakdown
+    bb = breakdown(base.trace)
+    print(f"  e2e {r.end_to_end_speedup:.3f} (1.06) attnB {bb.fraction(OpCategory.ATTENTION):.2f} convB {bb.fraction(OpCategory.CONV):.2f}")

@@ -1,0 +1,19 @@
+from dataclasses import replace
+from repro.ir import ExecutionContext, AttentionImpl
+from repro.models.make_a_video import MakeAVideo, MakeAVideoConfig
+from repro.profiler import temporal_spatial_report, profile_both, speedup_report, breakdown
+from repro.ir.ops import OpCategory
+
+cfg = MakeAVideoConfig()
+B = replace(cfg,
+    decoder_unet=replace(cfg.decoder_unet, head_dim=128),
+    interpolation_unet=replace(cfg.interpolation_unet, head_dim=128, attention_levels=(1,2,3)),
+    sr1_unet=replace(cfg.sr1_unet, temporal_attention_levels=()))
+m = MakeAVideo(B)
+base, flash = profile_both(m)
+for label, res in (("baseline", base), ("flash", flash)):
+    ts = temporal_spatial_report(res.trace)
+    print(f"{label}: time ratio {ts.time_ratio:.2f} (2.0) flops ratio {ts.flop_ratio:.2f} (9.0)")
+r = speedup_report(base.trace, flash.trace)
+bb, bf = breakdown(base.trace), breakdown(flash.trace)
+print(f"e2e {r.end_to_end_speedup:.3f} (1.06) attnB {bb.fraction(OpCategory.ATTENTION):.2f} attnFA {bf.fraction(OpCategory.ATTENTION):.2f} convB {bb.fraction(OpCategory.CONV):.2f} gnB {bb.fraction(OpCategory.GROUPNORM):.2f}")

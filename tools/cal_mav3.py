@@ -1,0 +1,20 @@
+from dataclasses import replace
+from repro.kernels.base import TuningConstants
+from repro.models.make_a_video import MakeAVideo, MakeAVideoConfig
+from repro.profiler import temporal_spatial_report, profile_both, speedup_report, breakdown, profile_model
+from repro.ir.context import AttentionImpl
+from repro.ir.ops import OpCategory
+
+cfg = MakeAVideoConfig()
+B = replace(cfg,
+    decoder_unet=replace(cfg.decoder_unet, head_dim=128),
+    interpolation_unet=replace(cfg.interpolation_unet, head_dim=128, attention_levels=(1,2,3)),
+    sr1_unet=replace(cfg.sr1_unet, temporal_attention_levels=()))
+m = MakeAVideo(B)
+for derate in (4.0, 6.0, 8.0, 12.0):
+    t = TuningConstants(temporal_locality_derate=derate)
+    fl = profile_model(m, attention_impl=AttentionImpl.FLASH, tuning=t)
+    ba = profile_model(m, tuning=t)
+    tsf, tsb = temporal_spatial_report(fl.trace), temporal_spatial_report(ba.trace)
+    r = speedup_report(ba.trace, fl.trace)
+    print(f"derate {derate}: flash ratio {tsf.time_ratio:.2f}, base ratio {tsb.time_ratio:.2f}, e2e {r.end_to_end_speedup:.3f}")

@@ -1,0 +1,56 @@
+"""Quick per-model calibration experiments."""
+import sys
+from repro.ir.ops import OpCategory
+from repro.profiler import profile_both, breakdown, speedup_report, temporal_spatial_report
+
+def report(model, paper=None):
+    base, flash = profile_both(model)
+    rep = speedup_report(base.trace, flash.trace)
+    bb, bf = breakdown(base.trace), breakdown(flash.trace)
+    print(f"{model.name}: e2e {rep.end_to_end_speedup:.3f} (paper {paper}), "
+          f"attnB {bb.fraction(OpCategory.ATTENTION):.2f} attnFA {bf.fraction(OpCategory.ATTENTION):.2f} "
+          f"convB {bb.fraction(OpCategory.CONV):.2f} convFA {bf.fraction(OpCategory.CONV):.2f} "
+          f"linFA {bf.fraction(OpCategory.LINEAR):.2f} gnB {bb.fraction(OpCategory.GROUPNORM):.2f} "
+          f"modSpd {rep.attention_module_speedup:.2f} total {base.total_time_s*1e3:.0f}ms")
+    return base, flash
+
+which = sys.argv[1]
+if which == "llama":
+    from repro.models.llama import Llama, LlamaConfig
+    for prompt, dec in [(4096, 16), (4096, 32), (8192, 32), (8192, 64)]:
+        print(f"prompt={prompt} decode={dec}: ", end="")
+        report(Llama(LlamaConfig(prompt_tokens=prompt, decode_tokens=dec, decode_bucket=8)), 1.52)
+elif which == "parti":
+    from repro.models.parti import Parti, PartiConfig
+    for heads in [32, 64]:
+        print(f"heads={heads}: ", end="")
+        report(Parti(PartiConfig(num_heads=heads)), 1.17)
+elif which == "phenaki":
+    from repro.models.phenaki import Phenaki, PhenakiConfig
+    for heads in [8, 16, 32]:
+        print(f"heads={heads}: ", end="")
+        report(Phenaki(PhenakiConfig(num_heads=heads)), 1.15)
+elif which == "imagen":
+    from repro.models.imagen import Imagen, ImagenConfig
+    from dataclasses import replace
+    cfg = ImagenConfig()
+    variants = {
+        "default": cfg,
+        "light_sr": replace(cfg, sr1_steps=16, sr2_steps=4),
+        "heavy_base": replace(cfg, base_steps=128, sr1_steps=16, sr2_steps=4),
+    }
+    for label, c in variants.items():
+        print(f"{label}: ", end="")
+        report(Imagen(c), 1.22)
+elif which == "mav":
+    from repro.models.make_a_video import MakeAVideo, MakeAVideoConfig
+    from dataclasses import replace
+    cfg = MakeAVideoConfig()
+    v2 = replace(cfg,
+        sr1_unet=replace(cfg.sr1_unet, temporal_attention_levels=(3,)),
+        interpolation_unet=replace(cfg.interpolation_unet, attention_levels=(1,2,3)))
+    for label, c in [("default", cfg), ("v2", v2)]:
+        print(f"{label}: ", end="")
+        base, flash = report(MakeAVideo(c), 1.06)
+        ts = temporal_spatial_report(base.trace)
+        print(f"   fig11: time ratio {ts.time_ratio:.2f} (2.0), flops ratio {ts.flop_ratio:.2f} (9.0)")

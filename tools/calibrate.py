@@ -1,0 +1,50 @@
+"""Calibration dashboard: compare simulated metrics against paper targets."""
+import time
+from repro.ir import AttentionImpl
+from repro.ir.ops import OpCategory
+from repro.models import build_model, suite_names, DISPLAY_NAMES
+from repro.profiler import profile_both, breakdown, speedup_report, temporal_spatial_report
+from repro.profiler import sequence_length_distribution
+
+PAPER_T2 = {"llama": 1.52, "imagen": 1.22, "stable_diffusion": 1.67, "muse": 1.11,
+            "parti": 1.17, "prod_image": 1.04, "make_a_video": 1.06, "phenaki": 1.15}
+
+t0 = time.time()
+results = {}
+for name in suite_names():
+    model = build_model(name)
+    results[name] = (model, *profile_both(model))
+
+print(f"profiled all in {time.time()-t0:.1f}s\n")
+print(f"{'model':18s} {'e2e speedup':>12s} {'paper':>6s} | attnFrac(base) attnFrac(FA) convFA linFA gnFA | attnModSpeedup")
+attn_mod_speedups = {}
+for name, (model, base, flash) in results.items():
+    rep = speedup_report(base.trace, flash.trace)
+    bb, bf = breakdown(base.trace), breakdown(flash.trace)
+    attn_mod_speedups[name] = rep.attention_module_speedup
+    print(f"{name:18s} {rep.end_to_end_speedup:12.3f} {PAPER_T2[name]:6.2f} | "
+          f"{bb.fraction(OpCategory.ATTENTION):8.2f} {bf.fraction(OpCategory.ATTENTION):10.2f} "
+          f"{bf.fraction(OpCategory.CONV):6.2f} {bf.fraction(OpCategory.LINEAR):5.2f} {bf.fraction(OpCategory.GROUPNORM):5.2f} | "
+          f"{rep.attention_module_speedup:6.2f}x")
+
+avg_attn = sum(breakdown(b.trace).fraction(OpCategory.ATTENTION) for _, b, f in results.values())/8
+print(f"\navg baseline attention fraction: {avg_attn:.3f} (paper ~0.413)")
+
+diff = [attn_mod_speedups[n] for n in ("imagen","stable_diffusion","prod_image","make_a_video")]
+trans = [attn_mod_speedups[n] for n in ("muse","parti","phenaki")]
+print(f"attention-kernel speedup: diffusion {min(diff):.2f}-{max(diff):.2f}, transformer {min(trans):.2f}-{max(trans):.2f}")
+print(f"  ratio range: {min(diff)/max(trans):.2f} - {max(diff)/min(trans):.2f} (paper: 1.1-2.5x greater for diffusion)")
+
+# Fig 11
+_, mav_base, _ = results["make_a_video"]
+ts = temporal_spatial_report(mav_base.trace)
+print(f"\nMAV temporal/spatial time ratio: {ts.time_ratio:.2f} (paper ~2), spatial/temporal flops: {ts.flop_ratio:.2f} (paper ~9)")
+
+# seqlen
+_, sd_base, _ = results["stable_diffusion"]
+dist = sequence_length_distribution(sd_base.trace)
+print(f"SD seqlens: {dist.distinct_lengths}, range {dist.dynamic_range:.0f}x, max {dist.max_length}")
+
+# conv baseline pixel vs latent
+imb = breakdown(results["imagen"][1].trace); sdb = breakdown(results["stable_diffusion"][1].trace)
+print(f"baseline conv: imagen(pixel) {imb.fraction(OpCategory.CONV):.2f} vs SD(latent) {sdb.fraction(OpCategory.CONV):.2f} (paper: pixel ~15% more, up to 36%)")

@@ -1,0 +1,12 @@
+"""Generate docs/MODELS.md from the live model cards."""
+from repro.models.cards import suite_cards
+
+HEADER = """# Model suite
+
+Auto-generated cards for the eight profiled workloads (regenerate with
+`python tools/gen_models_md.py > docs/MODELS.md`). Times are simulated
+A100-80GB estimates from the analytical performance model.
+
+"""
+
+print(HEADER + "\n".join(card.to_markdown() for card in suite_cards()))
