@@ -1,0 +1,393 @@
+"""Graph partitioners: data, tensor and pipeline parallelism.
+
+Each strategy consumes a single-device :class:`repro.ir.trace.Trace`
+(the symbolic operator graph a profiled model emits) and produces a
+:class:`DistributedPlan`: per-rank operator shards plus the collectives
+the sharding implies.  The plan is hardware-free — pricing against a
+machine's GPUs and interconnect happens in
+:mod:`repro.distributed.timeline`.
+
+**Tensor parallelism** follows Megatron's placement.  Attention is head
+parallel: Q/K/V projections are column-split, the scores/softmax/PV
+chain is head-split, and the output projection is row-split, yielding
+partial sums that one all-reduce per attention call combines.  Other
+parameter-bearing layers alternate column/row in first-use order within
+their parent module (an MLP's up projection is column-split, its down
+projection row-split with an all-reduce; a ResNet block's two convs
+likewise).  A scope with an odd number of such layers leaves its last
+layer column-parallel, and its output is all-gathered.  All remaining
+activation ops are sequence/element split.
+
+**Data parallelism** slices the batch: each rank runs the full graph on
+its batch share (ranks beyond the batch size idle).  Inference DP has
+no collectives — there are no gradients to reduce.
+
+**Pipeline parallelism** assigns contiguous trace segments to ranks,
+balancing segment execution time, with a send/recv of the boundary
+activation between consecutive stages.
+
+Every split preserves total FLOPs exactly (see
+:mod:`repro.distributed.sharding`), which the partitioner tests verify
+against the unsharded trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.collectives import CollectiveKind
+from repro.distributed.sharding import ShardRole, even_split, shard_op
+from repro.ir.ops import Op, OpCategory
+from repro.ir.trace import Trace, TraceEvent
+
+
+def event_repeat(event: TraceEvent) -> int:
+    """Recover the fold factor of a bucketed trace event.
+
+    ``repeat_scope`` folds loops of identical launches into one event
+    with scaled cost; the factor is the ratio between the event's cost
+    counters and the op's own formulas.
+    """
+    op_flops = event.op.flops()
+    if op_flops > 0:
+        return max(1, round(event.cost.flops / op_flops))
+    op_bytes = event.op.total_bytes()
+    if op_bytes > 0:
+        return max(1, round(event.cost.moved_bytes / op_bytes))
+    return 1
+
+
+@dataclass(frozen=True)
+class CommSpec:
+    """One collective the sharded graph requires after an event.
+
+    Attributes:
+        kind: which collective.
+        payload_bytes: logical tensor size communicated per issue.
+        label: short description for timelines (e.g. ``"ar:attn_out"``).
+    """
+
+    kind: CollectiveKind
+    payload_bytes: float
+    label: str
+
+
+@dataclass(frozen=True)
+class ShardedEvent:
+    """One source trace event split across the parallel group.
+
+    Attributes:
+        source: the single-device event this shards.
+        role: how the split was chosen.
+        ops: per-rank operator shards (``None`` = rank idle).
+        comm: collective required after this event, if any.
+        repeat: fold factor inherited from the source event.
+        stage: owning pipeline stage (pipeline plans only).
+    """
+
+    source: TraceEvent
+    role: ShardRole
+    ops: tuple[Op | None, ...]
+    comm: CommSpec | None
+    repeat: int
+    stage: int = 0
+
+
+@dataclass
+class DistributedPlan:
+    """A sharded operator graph, ready to be priced on a machine."""
+
+    strategy: str
+    world: int
+    kind: str  # "spmd" (TP/DP) or "pipeline"
+    sharded_events: list[ShardedEvent]
+    source: Trace
+
+    def flops_per_rank(self) -> list[float]:
+        """Total FLOPs each rank executes (folded loops included)."""
+        totals = [0.0] * self.world
+        for event in self.sharded_events:
+            for rank, op in enumerate(event.ops):
+                if op is not None:
+                    totals[rank] += op.flops() * event.repeat
+        return totals
+
+    def total_flops(self) -> float:
+        """FLOPs summed over every rank (invariant: == source total)."""
+        return sum(self.flops_per_rank())
+
+    def comm_payload_bytes(self) -> float:
+        """Logical bytes entering collectives across the whole plan."""
+        return sum(
+            event.comm.payload_bytes * event.repeat
+            for event in self.sharded_events
+            if event.comm is not None
+        )
+
+    def collective_counts(self) -> dict[CollectiveKind, int]:
+        """Number of collective issues by kind (folded loops included)."""
+        counts: dict[CollectiveKind, int] = {}
+        for event in self.sharded_events:
+            if event.comm is not None:
+                counts[event.comm.kind] = (
+                    counts.get(event.comm.kind, 0) + event.repeat
+                )
+        return counts
+
+
+class PartitionStrategy:
+    """Base class: a named way of splitting a trace over ``world`` ranks."""
+
+    name = "base"
+
+    def __init__(self, world: int):
+        if world < 1:
+            raise ValueError("world size must be >= 1")
+        self.world = world
+
+    def partition(self, trace: Trace) -> DistributedPlan:
+        """Shard ``trace`` into a :class:`DistributedPlan`."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable strategy label, e.g. ``"tp=4"``."""
+        return f"{self.name}={self.world}"
+
+
+def _parent_scope(path: str) -> str:
+    return path.rsplit(".", 1)[0] if "." in path else ""
+
+
+def _output_bytes(op: Op) -> float:
+    return op.write_bytes()
+
+
+class TensorParallel(PartitionStrategy):
+    """Megatron-style tensor parallelism over the whole graph."""
+
+    name = "tp"
+
+    def partition(self, trace: Trace) -> DistributedPlan:
+        """Shard every event; emit the implied all-reduce/all-gathers."""
+        weights = [1] * self.world
+        leaf_roles = self._assign_leaf_roles(trace)
+        sharded: list[ShardedEvent] = []
+        shard_cache: dict[tuple[Op, ShardRole], tuple[Op | None, ...]] = {}
+        for event in trace:
+            op = event.op
+            role, comm_kind = self._event_role(event, leaf_roles)
+            key = (op, role)
+            if key not in shard_cache:
+                shard_cache[key] = tuple(shard_op(op, role, weights))
+            comm = None
+            if comm_kind is not None and self.world > 1:
+                short = "ar" if comm_kind is CollectiveKind.ALL_REDUCE else "ag"
+                comm = CommSpec(
+                    kind=comm_kind,
+                    payload_bytes=_output_bytes(op),
+                    label=f"{short}:{op.name}",
+                )
+            sharded.append(
+                ShardedEvent(
+                    source=event,
+                    role=role,
+                    ops=shard_cache[key],
+                    comm=comm,
+                    repeat=event_repeat(event),
+                )
+            )
+        return DistributedPlan(
+            strategy=self.describe(),
+            world=self.world,
+            kind="spmd",
+            sharded_events=sharded,
+            source=trace,
+        )
+
+    @staticmethod
+    def _event_role(
+        event: TraceEvent,
+        leaf_roles: dict[str, tuple[ShardRole, CollectiveKind | None]],
+    ) -> tuple[ShardRole, CollectiveKind | None]:
+        op = event.op
+        if op.param_bytes() > 0:
+            return leaf_roles[event.module_path]
+        if op.category is OpCategory.ATTENTION:
+            return ShardRole.HEAD, None
+        return ShardRole.SEQUENCE, None
+
+    def _assign_leaf_roles(
+        self, trace: Trace
+    ) -> dict[str, tuple[ShardRole, CollectiveKind | None]]:
+        """Column/row placement per parameter-bearing module path.
+
+        Roles are assigned on first use so a layer keeps the same split
+        in every invocation.  Attention projections use the anchor flag
+        to tell inputs (column) from the output projection (row); other
+        layers alternate within their parent scope.
+        """
+        roles: dict[str, tuple[ShardRole, CollectiveKind | None]] = {}
+        anchor_seen: dict[str, bool] = {}
+        next_is_column: dict[str, bool] = {}
+        pending_column: dict[str, str] = {}
+        for event in trace:
+            op = event.op
+            if event.is_attention_anchor:
+                anchor_seen[event.module_path] = True
+            if op.param_bytes() <= 0:
+                continue
+            leaf = event.module_path
+            scope = _parent_scope(leaf)
+            if op.category is OpCategory.ATTENTION:
+                if leaf in roles:
+                    if roles[leaf][0] is ShardRole.ROW:
+                        anchor_seen[scope] = False
+                elif anchor_seen.get(scope):
+                    roles[leaf] = (ShardRole.ROW, CollectiveKind.ALL_REDUCE)
+                    anchor_seen[scope] = False
+                else:
+                    roles[leaf] = (ShardRole.COLUMN, None)
+                continue
+            if leaf in roles:
+                continue
+            if next_is_column.get(scope, True):
+                roles[leaf] = (ShardRole.COLUMN, None)
+                next_is_column[scope] = False
+                pending_column[scope] = leaf
+            else:
+                roles[leaf] = (ShardRole.ROW, CollectiveKind.ALL_REDUCE)
+                next_is_column[scope] = True
+                pending_column.pop(scope, None)
+        # A scope with an odd number of weight layers leaves its last
+        # column-split layer un-paired: its sharded output must be
+        # gathered before the (unsharded) consumers that follow.
+        for leaf in pending_column.values():
+            roles[leaf] = (ShardRole.COLUMN, CollectiveKind.ALL_GATHER)
+        return roles
+
+
+class DataParallel(PartitionStrategy):
+    """Batch slicing across replicas (inference: no collectives)."""
+
+    name = "dp"
+
+    def __init__(self, world: int, batch: int = 1):
+        super().__init__(world)
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.batch = batch
+
+    def describe(self) -> str:
+        """Label including the global batch, e.g. ``"dp=4(batch=8)"``."""
+        return f"{self.name}={self.world}(batch={self.batch})"
+
+    def partition(self, trace: Trace) -> DistributedPlan:
+        """Slice every event's batch-linear dimension by rank share."""
+        weights = even_split(self.batch, self.world)
+        sharded: list[ShardedEvent] = []
+        shard_cache: dict[Op, tuple[Op | None, ...]] = {}
+        for event in trace:
+            op = event.op
+            if op not in shard_cache:
+                shard_cache[op] = tuple(
+                    shard_op(op, ShardRole.BATCH, weights)
+                )
+            sharded.append(
+                ShardedEvent(
+                    source=event,
+                    role=ShardRole.BATCH,
+                    ops=shard_cache[op],
+                    comm=None,
+                    repeat=event_repeat(event),
+                )
+            )
+        return DistributedPlan(
+            strategy=self.describe(),
+            world=self.world,
+            kind="spmd",
+            sharded_events=sharded,
+            source=trace,
+        )
+
+
+class PipelineParallel(PartitionStrategy):
+    """Contiguous stage assignment balanced by execution time."""
+
+    name = "pp"
+
+    def partition(self, trace: Trace) -> DistributedPlan:
+        """Split the trace into ``world`` stages; link them with p2p."""
+        events = list(trace)
+        if not events:
+            raise ValueError("cannot partition an empty trace")
+        boundaries = self._stage_boundaries(events)
+        sharded: list[ShardedEvent] = []
+        stage = 0
+        for index, event in enumerate(events):
+            while stage < self.world - 1 and index >= boundaries[stage]:
+                stage += 1
+            ops: list[Op | None] = [None] * self.world
+            ops[stage] = event.op
+            comm = None
+            is_stage_end = (
+                stage < self.world - 1 and index == boundaries[stage] - 1
+            )
+            if is_stage_end:
+                comm = CommSpec(
+                    kind=CollectiveKind.SEND_RECV,
+                    payload_bytes=_output_bytes(event.op),
+                    label=f"p2p:{event.op.name}",
+                )
+            sharded.append(
+                ShardedEvent(
+                    source=event,
+                    role=ShardRole.SEQUENCE,
+                    ops=tuple(ops),
+                    comm=comm,
+                    repeat=event_repeat(event),
+                    stage=stage,
+                )
+            )
+        return DistributedPlan(
+            strategy=self.describe(),
+            world=self.world,
+            kind="pipeline",
+            sharded_events=sharded,
+            source=trace,
+        )
+
+    def _stage_boundaries(self, events: list[TraceEvent]) -> list[int]:
+        """End index (exclusive) of each of the first ``world-1`` stages.
+
+        Greedy time balancing: each stage closes once it holds its
+        proportional share of total trace time.
+        """
+        total = sum(event.cost.time_s for event in events)
+        boundaries: list[int] = []
+        cumulative = 0.0
+        target = 1
+        for index, event in enumerate(events):
+            cumulative += event.cost.time_s
+            while (
+                target < self.world
+                and cumulative >= total * target / self.world
+                and len(events) - (index + 1) >= self.world - target
+            ):
+                boundaries.append(index + 1)
+                target += 1
+        while len(boundaries) < self.world - 1:
+            boundaries.append(len(events))
+        return boundaries
+
+
+def strategy_from_name(
+    name: str, world: int, *, batch: int = 1
+) -> PartitionStrategy:
+    """Build a partition strategy from its short name (tp/dp/pp)."""
+    if name == "tp":
+        return TensorParallel(world)
+    if name == "dp":
+        return DataParallel(world, batch=batch)
+    if name == "pp":
+        return PipelineParallel(world)
+    raise ValueError(f"unknown partition strategy {name!r}; known: tp, dp, pp")

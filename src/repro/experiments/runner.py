@@ -13,6 +13,7 @@ import argparse
 import sys
 from typing import Callable
 
+from repro.experiments import dist_future_hw
 from repro.experiments import fig01_fleet, fig04_pareto, fig05_roofline
 from repro.experiments import fig06_op_breakdown, fig07_seqlen_profile
 from repro.experiments import fig08_seqlen_distribution, fig09_image_scaling
@@ -37,6 +38,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig11": fig11_temporal_cost.run,
     "fig12": fig12_cache.run,
     "fig13": fig13_frame_scaling.run,
+    "dist1": dist_future_hw.run,
 }
 
 
@@ -65,7 +67,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment ids (fig1..fig13, table1..table3) or 'all'",
+        help="experiment ids (fig1..fig13, table1..table3, dist1) "
+             "or 'all'",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"

@@ -14,6 +14,7 @@ from repro.hw.spec import (
     A100_40GB,
     A100_80GB,
     H100_80GB,
+    MI300X_192GB,
     PRESETS,
     V100_32GB,
     CacheSpec,
@@ -32,6 +33,7 @@ __all__ = [
     "GPUSpec",
     "H100_80GB",
     "HierarchyStats",
+    "MI300X_192GB",
     "MemorySystem",
     "PRESETS",
     "RooflinePoint",

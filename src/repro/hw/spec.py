@@ -184,8 +184,41 @@ V100_32GB = GPUSpec(
     ),
 )
 
+# AMD MI300X (CDNA3): the non-NVIDIA point in the multi-backend
+# registry.  304 CUs stand in for sm_count; the 256 MB Infinity Cache
+# plays the L2 role in the memory model.  Peak numbers are dense (no
+# structured sparsity), matching how the NVIDIA presets are quoted.
+MI300X_192GB = GPUSpec(
+    name="MI300X-192GB-OAM",
+    sm_count=304,
+    peak_flops={
+        FP16.name: 1307e12,
+        BF16.name: 1307e12,
+        TF32.name: 653e12,
+        FP8.name: 2614e12,
+        INT8.name: 2614e12,
+        FP32.name: 163.4e12,
+    },
+    vector_flops=163.4e12,
+    dram_bandwidth=5.3e12,
+    dram_capacity=192 * 1024**3,
+    l2=CacheSpec(
+        capacity_bytes=256 * 1024 * 1024,
+        line_bytes=128,
+        associativity=16,
+        bandwidth_bytes_per_s=17.0e12,
+    ),
+    l1_per_sm=CacheSpec(
+        capacity_bytes=64 * 1024,
+        line_bytes=128,
+        associativity=4,
+        bandwidth_bytes_per_s=40.0e12,
+    ),
+)
+
 PRESETS: dict[str, GPUSpec] = {
-    spec.name: spec for spec in (A100_80GB, A100_40GB, H100_80GB, V100_32GB)
+    spec.name: spec
+    for spec in (A100_80GB, A100_40GB, H100_80GB, V100_32GB, MI300X_192GB)
 }
 
 

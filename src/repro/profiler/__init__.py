@@ -10,6 +10,7 @@ from repro.profiler.breakdown import (
     temporal_spatial_report,
 )
 from repro.profiler.diff import DiffEntry, TraceDiff, diff_traces, render_diff
+from repro.profiler.distributed import DistributedProfileResult, profile_sharded
 from repro.profiler.memory_timeline import (
     MemorySample,
     MemoryTimeline,
@@ -44,6 +45,7 @@ from repro.profiler.trace_export import (
 __all__ = [
     "ComponentSummary",
     "DiffEntry",
+    "DistributedProfileResult",
     "TraceDiff",
     "diff_traces",
     "render_diff",
@@ -69,6 +71,7 @@ __all__ = [
     "parse_chrome_trace",
     "profile_both",
     "profile_model",
+    "profile_sharded",
     "save_chrome_trace",
     "sequence_length_distribution",
     "sequence_length_profile",

@@ -17,6 +17,11 @@ from repro.serving.queueing import (
     servers_for_slo,
     simulate_queue,
 )
+from repro.serving.sharded import (
+    ShardedReplica,
+    sharded_replica,
+    simulate_sharded_server,
+)
 from repro.serving.workload import (
     Request,
     WorkloadMix,
@@ -32,9 +37,11 @@ __all__ = [
     "simulate_batching_server",
     "QueueReport",
     "Request",
+    "ShardedReplica",
     "WorkloadMix",
     "generate_requests",
     "servers_for_slo",
+    "sharded_replica",
     "simulate_queue",
-    "suite_mix_from_profiles",
+    "simulate_sharded_server",
 ]

@@ -29,7 +29,12 @@ def interpolated_batch_latency(
 
     ``measured`` maps batch size -> latency; queries between points are
     interpolated, queries beyond the largest point extrapolate at the
-    marginal cost of the last segment.
+    marginal cost of the last segment.  Extrapolation always charges a
+    positive marginal cost: with a single measured point (no segment to
+    take a slope from) or a flat final segment, the fallback slope is
+    the last point's average per-request cost — otherwise a server
+    sized off the curve would believe arbitrarily large batches are
+    free.
     """
     if not measured:
         raise ValueError("need at least one measured point")
@@ -41,6 +46,17 @@ def interpolated_batch_latency(
     if times != sorted(times):
         raise ValueError("latency must be non-decreasing in batch size")
 
+    # Marginal cost past the last measured point.  Guard the degenerate
+    # cases (one point, or a flat last segment) with the average
+    # per-request cost so the slope is always positive.
+    if len(points) >= 2:
+        (b0, t0), (b1, t1) = points[-2], points[-1]
+        tail_slope = (t1 - t0) / (b1 - b0)
+    else:
+        tail_slope = 0.0
+    if tail_slope <= 0.0:
+        tail_slope = times[-1] / sizes[-1]
+
     def latency(batch: int) -> float:
         if batch <= 0:
             raise ValueError("batch must be positive")
@@ -50,12 +66,7 @@ def interpolated_batch_latency(
             if batch <= b1:
                 frac = (batch - b0) / (b1 - b0)
                 return t0 + frac * (t1 - t0)
-        if len(points) >= 2:
-            (b0, t0), (b1, t1) = points[-2], points[-1]
-            slope = (t1 - t0) / (b1 - b0)
-        else:
-            slope = times[0] / sizes[0]
-        return times[-1] + slope * (batch - sizes[-1])
+        return times[-1] + tail_slope * (batch - sizes[-1])
 
     return latency
 

@@ -1,0 +1,112 @@
+"""Sharded replicas: serving simulation over multi-GPU servers.
+
+The queueing and dynamic-batching simulators treat a server as a
+batch-latency function.  A :class:`ShardedReplica` produces that
+function for a *group* of GPUs running one tensor-parallel (or
+pipeline-parallel) model instance: per-batch latencies come from the
+distributed profiler, so collective overheads and shard inefficiency
+flow straight into fleet-level latency/throughput numbers.  This closes
+the Section V loop — whether throwing a TP group at a model beats
+running independent replicas is exactly the capacity-planning question
+the serving layer exists to answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.registry import MachineSpec, machine_from_name
+from repro.ir.context import AttentionImpl
+from repro.ir.module import Module
+from repro.serving.batching import (
+    BatchLatencyFn,
+    BatchRecord,
+    interpolated_batch_latency,
+    simulate_batching_server,
+)
+from repro.serving.queueing import QueueReport
+from repro.serving.workload import Request
+
+
+@dataclass(frozen=True)
+class ShardedReplica:
+    """One model instance sharded across ``world`` GPUs.
+
+    Attributes:
+        model_name: which workload the replica serves.
+        machine_name: registry name of the hardware it runs on.
+        world: GPUs in the replica's parallel group.
+        strategy: partition strategy label (e.g. ``"tp=4"``).
+        latency_fn: batch size -> one service invocation's latency.
+    """
+
+    model_name: str
+    machine_name: str
+    world: int
+    strategy: str
+    latency_fn: BatchLatencyFn
+
+    def latency(self, batch: int) -> float:
+        """Service latency of one batched invocation on this replica."""
+        return self.latency_fn(batch)
+
+    @property
+    def gpus(self) -> int:
+        """GPU cost of the replica (for per-GPU throughput accounting)."""
+        return self.world
+
+
+def sharded_replica(
+    model: Module,
+    *,
+    machine: MachineSpec | str = "dgx-a100-80g",
+    world: int = 1,
+    strategy: str = "tp",
+    batches: tuple[int, ...] = (1, 2, 4, 8),
+    attention_impl: AttentionImpl = AttentionImpl.FLASH,
+    overlap: float = 0.0,
+) -> ShardedReplica:
+    """Build a replica whose batch-latency curve is measured sharded.
+
+    Profiles the model at each batch size in ``batches`` under the
+    given partitioning and fits the piecewise-linear latency function
+    the batching simulator consumes.
+    """
+    if isinstance(machine, str):
+        machine = machine_from_name(machine)
+    # Local import: repro.serving must stay importable without the
+    # profiler stack loaded (workload generation is dependency-free).
+    from repro.profiler.distributed import profile_sharded
+
+    measured: dict[int, float] = {}
+    for batch in batches:
+        result = profile_sharded(
+            model, machine=machine, world=world, strategy=strategy,
+            attention_impl=attention_impl, batch=batch, overlap=overlap,
+            keep_entries=False,
+        )
+        measured[batch] = result.total_time_s
+    return ShardedReplica(
+        model_name=getattr(model, "name", type(model).__name__),
+        machine_name=machine.name,
+        world=world,
+        strategy=f"{strategy}={world}",
+        latency_fn=interpolated_batch_latency(measured),
+    )
+
+
+def simulate_sharded_server(
+    requests: list[Request],
+    replica: ShardedReplica,
+    *,
+    max_batch: int = 8,
+) -> tuple[QueueReport, list[BatchRecord]]:
+    """Dynamic-batching simulation where the server is a sharded replica.
+
+    Identical semantics to
+    :func:`repro.serving.batching.simulate_batching_server`, with the
+    replica's distributed batch-latency curve as the service process.
+    """
+    return simulate_batching_server(
+        requests, replica.latency_fn, max_batch=max_batch
+    )

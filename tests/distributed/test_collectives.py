@@ -1,0 +1,151 @@
+"""Collective cost model vs hand-computed alpha-beta arithmetic."""
+
+import pytest
+
+from repro.distributed.collectives import (
+    NVLINK3,
+    NVLINK4,
+    CollectiveAlgorithm,
+    CollectiveCostModel,
+    CollectiveKind,
+    LinkSpec,
+    ring_all_gather_time,
+    ring_all_reduce_time,
+    ring_reduce_scatter_time,
+    send_recv_time,
+    tree_all_reduce_time,
+)
+
+# Round numbers so every expected value below is hand-checkable:
+# alpha = 1 us, beta = 100 GB/s.
+LINK = LinkSpec("test", bandwidth=100e9, latency_s=1e-6)
+
+
+class TestRingAllReduce:
+    def test_hand_computed_p4(self):
+        # 2(p-1) = 6 steps, each alpha + B/(p*beta)
+        #        = 1e-6 + 400e6 / (4 * 100e9) = 1.001e-3 s.
+        expected = 6 * (1e-6 + 400e6 / (4 * 100e9))
+        assert ring_all_reduce_time(400e6, 4, LINK) == pytest.approx(
+            expected
+        )
+        assert expected == pytest.approx(6.006e-3)
+
+    def test_hand_computed_p2(self):
+        # 2 steps of alpha + B/(2*beta) = 1e-6 + 5e-4.
+        assert ring_all_reduce_time(100e6, 2, LINK) == pytest.approx(
+            2 * (1e-6 + 100e6 / (2 * 100e9))
+        )
+
+    def test_world_one_is_free(self):
+        assert ring_all_reduce_time(1e9, 1, LINK) == 0.0
+
+    def test_bandwidth_term_scales_with_payload(self):
+        small = ring_all_reduce_time(1e6, 8, LINK)
+        large = ring_all_reduce_time(2e6, 8, LINK)
+        # Doubling the payload doubles only the beta term.
+        assert large - small == pytest.approx(
+            14 * 1e6 / (8 * 100e9)
+        )
+
+
+class TestTreeAllReduce:
+    def test_hand_computed_p4(self):
+        # 2*ceil(log2 4) = 4 hops, each alpha + B/beta.
+        expected = 4 * (1e-6 + 400e6 / 100e9)
+        assert tree_all_reduce_time(400e6, 4, LINK) == pytest.approx(
+            expected
+        )
+
+    def test_non_power_of_two_rounds_up(self):
+        # p=6 -> ceil(log2 6) = 3 -> 6 hops.
+        assert tree_all_reduce_time(1e6, 6, LINK) == pytest.approx(
+            6 * (1e-6 + 1e6 / 100e9)
+        )
+
+
+class TestGatherScatter:
+    def test_all_gather_hand_computed(self):
+        # (p-1) = 3 steps of alpha + B/(p*beta).
+        assert ring_all_gather_time(400e6, 4, LINK) == pytest.approx(
+            3 * (1e-6 + 1e-3)
+        )
+
+    def test_reduce_scatter_matches_all_gather(self):
+        assert ring_reduce_scatter_time(
+            400e6, 4, LINK
+        ) == ring_all_gather_time(400e6, 4, LINK)
+
+    def test_send_recv(self):
+        assert send_recv_time(200e6, LINK) == pytest.approx(
+            1e-6 + 200e6 / 100e9
+        )
+
+
+class TestAlgorithmSelection:
+    def test_small_message_picks_tree(self):
+        # At 8 ranks a tiny payload costs 14 alpha on the ring but only
+        # 6 alpha on the tree.
+        estimate = CollectiveCostModel(LINK).all_reduce(64, 8)
+        assert estimate.algorithm is CollectiveAlgorithm.TREE
+
+    def test_large_message_picks_ring(self):
+        estimate = CollectiveCostModel(LINK).all_reduce(1e9, 8)
+        assert estimate.algorithm is CollectiveAlgorithm.RING
+
+    def test_estimate_is_min_of_both(self):
+        model = CollectiveCostModel(LINK)
+        for payload in (64.0, 1e6, 1e9):
+            estimate = model.all_reduce(payload, 8)
+            assert estimate.time_s == pytest.approx(
+                min(
+                    ring_all_reduce_time(payload, 8, LINK),
+                    tree_all_reduce_time(payload, 8, LINK),
+                )
+            )
+
+    def test_dispatch_by_kind(self):
+        model = CollectiveCostModel(LINK)
+        estimate = model.estimate(CollectiveKind.ALL_GATHER, 1e6, 4)
+        assert estimate.kind is CollectiveKind.ALL_GATHER
+        assert estimate.time_s == pytest.approx(
+            ring_all_gather_time(1e6, 4, LINK)
+        )
+
+
+class TestEstimateScaling:
+    def test_scaled_multiplies_time_and_payload(self):
+        estimate = CollectiveCostModel(LINK).all_reduce(1e6, 4)
+        scaled = estimate.scaled(50)
+        assert scaled.time_s == pytest.approx(50 * estimate.time_s)
+        assert scaled.payload_bytes == pytest.approx(50e6)
+        assert scaled.wire_bytes == pytest.approx(50 * estimate.wire_bytes)
+
+    def test_scale_one_is_identity(self):
+        estimate = CollectiveCostModel(LINK).all_reduce(1e6, 4)
+        assert estimate.scaled(1) is estimate
+
+    def test_scale_below_one_rejected(self):
+        estimate = CollectiveCostModel(LINK).all_reduce(1e6, 4)
+        with pytest.raises(ValueError):
+            estimate.scaled(0)
+
+
+class TestValidation:
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            CollectiveCostModel(LINK).all_reduce(-1.0, 4)
+
+    def test_world_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CollectiveCostModel(LINK).all_reduce(1e6, 0)
+
+    def test_bad_link_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec("bad", bandwidth=0.0, latency_s=1e-6)
+
+    def test_faster_link_is_faster(self):
+        # NVLink4 (450 GB/s) beats NVLink3 (300 GB/s) at equal latency.
+        assert ring_all_reduce_time(1e9, 8, NVLINK4) < ring_all_reduce_time(
+            1e9, 8, NVLINK3
+        )

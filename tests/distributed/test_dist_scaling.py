@@ -1,0 +1,108 @@
+"""Scaling sweeps and distributed timelines on real model traces."""
+
+import pytest
+
+from repro.distributed.partition import TensorParallel
+from repro.distributed.registry import machine_from_name
+from repro.distributed.scaling import (
+    scaling_table,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.distributed.timeline import build_timelines
+from repro.kernels.estimator import DEFAULT_TUNING
+from repro.models.registry import build_model
+from repro.profiler import profile_sharded
+
+WORLDS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def sd_points():
+    model = build_model("stable_diffusion@256")
+    return strong_scaling(model, "dgx-a100-80g", WORLDS)
+
+
+class TestStrongScaling:
+    def test_baseline_point_is_identity(self, sd_points):
+        assert sd_points[0].world == 1
+        assert sd_points[0].speedup == pytest.approx(1.0)
+        assert sd_points[0].efficiency == pytest.approx(1.0)
+        assert sd_points[0].comm_time_s == 0.0
+
+    def test_tp_efficiency_monotonically_decreasing(self, sd_points):
+        # Regression guard: collectives and shrinking per-rank work must
+        # make each added GPU strictly less useful than the last.
+        efficiencies = [point.efficiency for point in sd_points]
+        assert all(
+            earlier > later
+            for earlier, later in zip(efficiencies, efficiencies[1:])
+        ), efficiencies
+
+    def test_comm_share_grows_with_world(self, sd_points):
+        fractions = [point.comm_fraction for point in sd_points[1:]]
+        assert all(
+            earlier < later
+            for earlier, later in zip(fractions, fractions[1:])
+        ), fractions
+
+    def test_table_renders_every_world(self, sd_points):
+        table = scaling_table(sd_points, title="sweep")
+        assert "sweep" in table
+        for world in WORLDS:
+            assert any(
+                line.startswith(str(world)) for line in table.splitlines()
+            )
+
+    def test_invalid_worlds_rejected(self):
+        with pytest.raises(ValueError):
+            strong_scaling(
+                build_model("stable_diffusion@256"), "dgx-a100-80g", ()
+            )
+
+
+class TestWeakScaling:
+    def test_dp_efficiency_near_flat(self):
+        model = build_model("stable_diffusion@256")
+        points = weak_scaling(model, "dgx-a100-80g", (1, 2))
+        # Each replica runs the identical per-sample trace; modelled DP
+        # inference has no gradient sync, so efficiency stays at 1.
+        assert points[1].efficiency == pytest.approx(1.0, rel=1e-6)
+
+
+class TestTimelines:
+    def test_overlap_hides_communication(self):
+        model = build_model("stable_diffusion@256")
+        machine = machine_from_name("dgx-a100-80g")
+        exposed = profile_sharded(
+            model, machine=machine, world=4, overlap=0.0,
+            keep_entries=False,
+        )
+        hidden = profile_sharded(
+            model, machine=machine, world=4, overlap=1.0,
+            keep_entries=False,
+        )
+        assert hidden.total_time_s < exposed.total_time_s
+        assert hidden.timelines.exposed_comm_time_s == pytest.approx(0.0)
+
+    def test_ranks_synchronize_at_collectives(self):
+        model = build_model("stable_diffusion@256")
+        machine = machine_from_name("dgx-a100-80g")
+        result = profile_sharded(
+            model, machine=machine, world=2, keep_entries=False
+        )
+        ends = [timeline.end_s for timeline in result.timelines.timelines]
+        assert ends[0] == pytest.approx(ends[1], rel=1e-9)
+
+    def test_pipeline_world_matches_stage_count(self):
+        model = build_model("stable_diffusion@256")
+        machine = machine_from_name("dgx-a100-80g")
+        plan = TensorParallel(2).partition(
+            profile_sharded(
+                model, machine=machine, world=1, keep_entries=False
+            ).source_trace
+        )
+        dist = build_timelines(
+            plan, machine, tuning=DEFAULT_TUNING, keep_entries=False
+        )
+        assert len(dist.timelines) == 2

@@ -1,0 +1,162 @@
+"""Partition strategies: FLOPs invariants and collective placement."""
+
+import pytest
+
+from repro.distributed.collectives import CollectiveKind
+from repro.distributed.partition import (
+    DataParallel,
+    PipelineParallel,
+    TensorParallel,
+    strategy_from_name,
+)
+from repro.ir.context import ExecutionContext
+from repro.ir.ops import Elementwise, FusedAttention, Gemm, OpCategory
+
+
+def transformer_trace(blocks: int = 2, repeat: int = 1):
+    """A small transformer-shaped trace: qkv/core/proj + MLP per block."""
+    ctx = ExecutionContext()
+    for index in range(blocks):
+        with ctx.named_scope(f"block{index}"):
+            # Mirrors MultiHeadAttention: projections live in their own
+            # leaf scopes, the fused core is the anchor in the parent.
+            with ctx.named_scope("attn"):
+                with ctx.named_scope("qkv"):
+                    ctx.emit(
+                        Gemm(
+                            "qkv", m=64, n=768, k=256, b_is_weight=True,
+                            category_override=OpCategory.ATTENTION,
+                        ),
+                        repeat=repeat,
+                    )
+                ctx.emit(
+                    FusedAttention(
+                        "core", batch=1, seq_q=64, seq_kv=64,
+                        head_dim=32, num_heads=8,
+                    ),
+                    flags={"attention_anchor"},
+                    repeat=repeat,
+                )
+                with ctx.named_scope("out_proj"):
+                    ctx.emit(
+                        Gemm(
+                            "proj", m=64, n=256, k=256, b_is_weight=True,
+                            category_override=OpCategory.ATTENTION,
+                        ),
+                        repeat=repeat,
+                    )
+            with ctx.named_scope("mlp"):
+                with ctx.named_scope("fc1"):
+                    ctx.emit(
+                        Gemm("fc1", m=64, n=1024, k=256, b_is_weight=True),
+                        repeat=repeat,
+                    )
+                with ctx.named_scope("fc2"):
+                    ctx.emit(
+                        Gemm("fc2", m=64, n=256, k=1024, b_is_weight=True),
+                        repeat=repeat,
+                    )
+            ctx.emit(Elementwise("residual", numel=64 * 256), repeat=repeat)
+    return ctx.trace
+
+
+class TestTensorParallelInvariants:
+    @pytest.mark.parametrize("world", [1, 2, 4, 8])
+    def test_total_flops_preserved(self, world):
+        trace = transformer_trace()
+        plan = TensorParallel(world).partition(trace)
+        assert plan.total_flops() == pytest.approx(
+            trace.total_flops, rel=1e-6
+        )
+
+    def test_folded_loops_preserved(self):
+        # repeat_scope-folded events must keep their fold factor.
+        trace = transformer_trace(repeat=50)
+        plan = TensorParallel(4).partition(trace)
+        assert plan.total_flops() == pytest.approx(
+            trace.total_flops, rel=1e-6
+        )
+
+    def test_work_is_balanced(self):
+        plan = TensorParallel(4).partition(transformer_trace())
+        per_rank = plan.flops_per_rank()
+        assert max(per_rank) <= 1.05 * min(per_rank)
+
+    def test_world_one_emits_no_collectives(self):
+        plan = TensorParallel(1).partition(transformer_trace())
+        assert plan.collective_counts() == {}
+
+    def test_row_splits_emit_all_reduce(self):
+        plan = TensorParallel(2).partition(transformer_trace())
+        counts = plan.collective_counts()
+        assert counts.get(CollectiveKind.ALL_REDUCE, 0) > 0
+
+    def test_roles_stable_across_repeated_blocks(self):
+        # The same leaf module must get the same role in every block /
+        # denoising step, otherwise weights would be resharded mid-run.
+        trace = transformer_trace(blocks=3)
+        plan = TensorParallel(2).partition(trace)
+        roles = {}
+        for sharded in plan.sharded_events:
+            leaf = sharded.source.module_path.split(".", 1)[-1]
+            key = (leaf, sharded.source.op.name)
+            if key in roles:
+                assert roles[key] == sharded.role
+            else:
+                roles[key] = sharded.role
+
+
+class TestDataParallel:
+    @pytest.mark.parametrize("world", [2, 4])
+    def test_total_flops_preserved(self, world):
+        # DP slices the (global-batch) trace across replicas; the work
+        # in the trace is conserved, not replicated.
+        trace = transformer_trace()
+        plan = DataParallel(world, batch=world).partition(trace)
+        assert plan.total_flops() == pytest.approx(
+            trace.total_flops, rel=1e-6
+        )
+
+    def test_inference_dp_has_no_collectives(self):
+        plan = DataParallel(4, batch=4).partition(transformer_trace())
+        assert plan.collective_counts() == {}
+
+    def test_describe_mentions_batch(self):
+        assert "batch" in DataParallel(4, batch=8).describe()
+
+
+class TestPipelineParallel:
+    def test_total_flops_preserved(self):
+        trace = transformer_trace(blocks=4)
+        plan = PipelineParallel(4).partition(trace)
+        assert plan.total_flops() == pytest.approx(
+            trace.total_flops, rel=1e-6
+        )
+
+    def test_stages_are_contiguous(self):
+        plan = PipelineParallel(2).partition(transformer_trace(blocks=4))
+        stages = [event.stage for event in plan.sharded_events]
+        assert stages == sorted(stages)
+        assert set(stages) == set(range(max(stages) + 1))
+
+    def test_stage_boundaries_emit_send_recv(self):
+        plan = PipelineParallel(2).partition(transformer_trace(blocks=4))
+        counts = plan.collective_counts()
+        assert counts.get(CollectiveKind.SEND_RECV, 0) >= 1
+
+
+class TestStrategyFactory:
+    def test_known_names(self):
+        assert isinstance(strategy_from_name("tp", 4), TensorParallel)
+        assert isinstance(strategy_from_name("dp", 4), DataParallel)
+        assert isinstance(
+            strategy_from_name("pp", 4), PipelineParallel
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            strategy_from_name("zp", 4)
+
+    def test_invalid_world_rejected(self):
+        with pytest.raises(ValueError):
+            TensorParallel(0)

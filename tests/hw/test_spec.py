@@ -84,7 +84,8 @@ class TestPresets:
             gpu_from_name("TPU-v4")
 
     def test_all_presets_registered(self):
-        assert len(PRESETS) == 4
+        # V100, A100 x2, H100, MI300X
+        assert len(PRESETS) == 5
 
     def test_unknown_dtype_falls_back_to_vector(self):
         from repro.ir.dtypes import INT64

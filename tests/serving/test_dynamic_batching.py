@@ -51,6 +51,23 @@ class TestBatchLatencyFn:
         with pytest.raises(ValueError):
             CURVE(0)
 
+    def test_single_point_extrapolates_positive_marginal_cost(self):
+        # Regression: one measured point used to extrapolate flat, so a
+        # capacity plan off this curve thought large batches were free.
+        curve = interpolated_batch_latency({4: 2.0})
+        assert curve(4) == 2.0
+        # Fallback slope is the average per-request cost: 2.0 / 4.
+        assert curve(8) == pytest.approx(2.0 + 4 * 0.5)
+        assert curve(12) > curve(8) > curve(4)
+
+    def test_flat_final_segment_extrapolates_positive_marginal_cost(self):
+        # Equal latencies pass the non-decreasing check but give the
+        # last segment zero slope; extrapolation must still charge.
+        curve = interpolated_batch_latency({1: 1.0, 2: 1.0})
+        assert curve(2) == 1.0
+        assert curve(4) == pytest.approx(1.0 + 2 * 0.5)
+        assert curve(6) > curve(4)
+
 
 class TestBatchingServer:
     def test_idle_arrivals_run_alone(self):

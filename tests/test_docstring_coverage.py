@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.kernels",
     "repro.layers",
     "repro.models",
+    "repro.distributed",
     "repro.profiler",
     "repro.analysis",
     "repro.experiments",

@@ -37,6 +37,7 @@ class TestExamples:
         assert ALL_EXAMPLES == [
             "denoising_steps_study.py",
             "deployment_study.py",
+            "distributed_study.py",
             "fleet_report.py",
             "image_size_study.py",
             "model_comparison.py",
