@@ -1,0 +1,170 @@
+"""Golden-trace summaries: the numbers the regression suite pins.
+
+The experiments check *claims* (shape, ordering, coarse bands) so that
+honest recalibration does not break them; the golden suite is the
+opposite contract: it pins exact numeric outputs of the performance
+model — Table I parameter counts and latencies, Table II speedups,
+Figure 6 breakdown shares, dist1 scaling efficiencies — to committed
+JSON files, so a change to any kernel-cost constant that silently
+shifts the paper numbers fails tier-1 instead of drifting unnoticed.
+
+Each ``*_summary`` function returns a JSON-serializable nested dict of
+pure floats; :func:`compare_summaries` diffs two such trees with a
+tight relative tolerance (1e-9 by default — loose enough for libm
+variation across platforms, tight enough that any real model change
+trips it).  Refresh the committed files with ``pytest tests/golden
+--update-golden`` after an *intentional* model change.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.distributed.scaling import strong_scaling
+from repro.experiments.suite_cache import all_profiles, model_instance
+from repro.ir.ops import OpCategory
+from repro.kernels.base import TuningConstants
+from repro.models.registry import suite_names
+from repro.profiler.breakdown import breakdown, speedup_report
+
+DIST1_MODELS = ("stable_diffusion", "make_a_video")
+DIST1_MACHINES = ("dgx-a100-80g", "dgx-h100")
+DIST1_WORLDS = (1, 2, 4, 8)
+
+
+def table1_summary() -> dict:
+    """Generator parameter counts and baseline latencies (Table I)."""
+    from repro.experiments.table1_taxonomy import (
+        _TTI_MODELS,
+        generator_params,
+    )
+
+    profiles = all_profiles()
+    return {
+        name: {
+            "generator_params": float(generator_params(name)),
+            "baseline_latency_s": profiles[name][0].total_time_s,
+            "baseline_flops": profiles[name][0].trace.total_flops,
+        }
+        for name in _TTI_MODELS
+    }
+
+
+def table2_summary() -> dict:
+    """End-to-end Flash speedup per suite model (Table II)."""
+    return {
+        name: speedup_report(
+            baseline.trace, flash.trace
+        ).end_to_end_speedup
+        for name, (baseline, flash) in all_profiles().items()
+    }
+
+
+def fig6_summary() -> dict:
+    """Operator-category time shares per model and impl (Figure 6)."""
+    summary: dict = {}
+    for name, (baseline, flash) in all_profiles().items():
+        summary[name] = {
+            impl: {
+                category.value: fraction
+                for category, fraction in sorted(
+                    breakdown(result.trace).fractions().items(),
+                    key=lambda item: item[0].value,
+                )
+            }
+            for impl, result in (("baseline", baseline),
+                                 ("flash", flash))
+        }
+    return summary
+
+
+def dist1_summary(
+    tuning: TuningConstants | None = None,
+    *,
+    models: tuple[str, ...] = DIST1_MODELS,
+    machines: tuple[str, ...] = DIST1_MACHINES,
+    worlds: tuple[int, ...] = DIST1_WORLDS,
+) -> dict:
+    """Strong-scaling latencies and efficiencies (dist1).
+
+    ``tuning`` exists so the regression suite can demonstrate that a
+    perturbed kernel-cost constant produces a summary that *fails* the
+    golden comparison.
+    """
+    kwargs = {} if tuning is None else {"tuning": tuning}
+    summary: dict = {}
+    for name in models:
+        for machine in machines:
+            points = strong_scaling(
+                model_instance(name), machine, worlds, **kwargs
+            )
+            summary[f"{name}|{machine}"] = {
+                str(point.world): {
+                    "time_s": point.time_s,
+                    "efficiency": point.efficiency,
+                    "comm_time_s": point.comm_time_s,
+                }
+                for point in points
+            }
+    return summary
+
+
+GOLDEN_SUMMARIES: dict[str, Callable[[], dict]] = {
+    "table1": table1_summary,
+    "table2": table2_summary,
+    "fig06_shares": fig6_summary,
+    "dist1": dist1_summary,
+}
+
+
+def _flatten(tree: dict, prefix: str = "") -> dict[str, object]:
+    flat: dict[str, object] = {}
+    for key, value in tree.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(_flatten(value, path))
+        else:
+            flat[path] = value
+    return flat
+
+
+def compare_summaries(
+    expected: dict,
+    actual: dict,
+    *,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-12,
+) -> list[str]:
+    """Diff two summary trees; returns human-readable mismatches.
+
+    An empty list means the trees agree to within the tolerances.
+    Missing or extra keys are mismatches too — a model that stops (or
+    starts) reporting a number is as much a regression as one that
+    shifts it.
+    """
+    flat_expected = _flatten(expected)
+    flat_actual = _flatten(actual)
+    mismatches: list[str] = []
+    for path in sorted(set(flat_expected) | set(flat_actual)):
+        if path not in flat_expected:
+            mismatches.append(f"{path}: unexpected new value")
+            continue
+        if path not in flat_actual:
+            mismatches.append(f"{path}: missing from actual")
+            continue
+        want, got = flat_expected[path], flat_actual[path]
+        if isinstance(want, float) and isinstance(got, (int, float)):
+            if not math.isclose(
+                want, float(got), rel_tol=rel_tol, abs_tol=abs_tol
+            ):
+                drift = (
+                    (float(got) - want) / want * 100.0 if want else 0.0
+                )
+                mismatches.append(
+                    f"{path}: expected {want!r}, got {got!r} "
+                    f"({drift:+.3f}%)"
+                )
+        elif want != got:
+            mismatches.append(f"{path}: expected {want!r}, got {got!r}")
+    return mismatches

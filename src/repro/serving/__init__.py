@@ -1,8 +1,12 @@
-"""Serving-layer simulation: workload generation and queueing.
+"""Serving-layer simulation: workloads, queueing, fleets, SLOs.
 
 The deployability half of the paper's closing argument: per-request
 service times come from the performance model, and this package turns
-them into fleet-level latency/throughput numbers.
+them into fleet-level latency/throughput numbers — from a single FIFO
+pool (:mod:`repro.serving.queueing`) up to a heterogeneous fleet with
+scheduling policies, fault injection, retries and autoscaling
+(:mod:`repro.serving.fleet`), with SLO accounting on top
+(:mod:`repro.serving.slo`).
 """
 
 from repro.serving.batching import (
@@ -10,6 +14,33 @@ from repro.serving.batching import (
     interpolated_batch_latency,
     mean_batch_size,
     simulate_batching_server,
+)
+from repro.serving.faults import (
+    FAULT_FREE,
+    NO_RETRIES,
+    Crash,
+    FaultSchedule,
+    RetryPolicy,
+    Straggler,
+    generate_faults,
+)
+from repro.serving.fleet import (
+    AutoscalerConfig,
+    FailedRequest,
+    FleetCompletion,
+    FleetReport,
+    PoolSpec,
+    PoolStats,
+    affine_batch_latency,
+    machine_speed_factor,
+    pool_from_replicas,
+    simulate_fleet,
+)
+from repro.serving.policies import (
+    FifoPolicy,
+    ModelAffinityPolicy,
+    ShortestJobFirst,
+    policy_from_name,
 )
 from repro.serving.queueing import (
     CompletedRequest,
@@ -22,26 +53,61 @@ from repro.serving.sharded import (
     sharded_replica,
     simulate_sharded_server,
 )
+from repro.serving.slo import ModelSlo, SloReport, percentile, slo_report
 from repro.serving.workload import (
     Request,
     WorkloadMix,
+    bursty_rate,
+    constant_rate,
+    diurnal_rate,
     generate_requests,
+    generate_requests_pattern,
     suite_mix_from_profiles,
 )
 
 __all__ = [
+    "AutoscalerConfig",
     "BatchRecord",
     "CompletedRequest",
-    "interpolated_batch_latency",
-    "mean_batch_size",
-    "simulate_batching_server",
+    "Crash",
+    "FAULT_FREE",
+    "FailedRequest",
+    "FaultSchedule",
+    "FifoPolicy",
+    "FleetCompletion",
+    "FleetReport",
+    "ModelAffinityPolicy",
+    "ModelSlo",
+    "NO_RETRIES",
+    "PoolSpec",
+    "PoolStats",
     "QueueReport",
     "Request",
+    "RetryPolicy",
     "ShardedReplica",
+    "ShortestJobFirst",
+    "SloReport",
+    "Straggler",
     "WorkloadMix",
+    "affine_batch_latency",
+    "bursty_rate",
+    "constant_rate",
+    "diurnal_rate",
+    "generate_faults",
     "generate_requests",
+    "generate_requests_pattern",
+    "interpolated_batch_latency",
+    "machine_speed_factor",
+    "mean_batch_size",
+    "percentile",
+    "policy_from_name",
+    "pool_from_replicas",
     "servers_for_slo",
     "sharded_replica",
+    "simulate_batching_server",
+    "simulate_fleet",
     "simulate_queue",
     "simulate_sharded_server",
+    "slo_report",
+    "suite_mix_from_profiles",
 ]

@@ -95,7 +95,10 @@ def simulate_batching_server(
     if max_batch <= 0:
         raise ValueError("max_batch must be positive")
     if not requests:
-        raise ValueError("no requests to simulate")
+        # An idle server is a well-defined simulation, not an error: a
+        # fleet report summing over pools must tolerate pools that saw
+        # no traffic.
+        return QueueReport(completed=(), servers=1, makespan_s=0.0), []
     ordered = sorted(requests, key=lambda request: request.arrival_s)
     completed: list[CompletedRequest] = []
     batches: list[BatchRecord] = []
@@ -124,7 +127,9 @@ def simulate_batching_server(
         )
         free_at = finish
         index += len(batch)
-    makespan = max(record.finish_s for record in completed)
+    makespan = max(
+        (record.finish_s for record in completed), default=0.0
+    )
     report = QueueReport(
         completed=tuple(completed), servers=1, makespan_s=makespan
     )
@@ -132,7 +137,12 @@ def simulate_batching_server(
 
 
 def mean_batch_size(batches: list[BatchRecord]) -> float:
-    """Average launched batch size (load-dependent)."""
+    """Average launched batch size (load-dependent).
+
+    An idle server launched no batches; its mean batch size is 0.0 by
+    definition (rather than an error), so fleet-level aggregation over
+    pools with idle members stays total.
+    """
     if not batches:
-        raise ValueError("no batches")
+        return 0.0
     return sum(batch.size for batch in batches) / len(batches)

@@ -1,0 +1,221 @@
+"""Fault injection for the fleet simulator.
+
+A characterization study can pretend servers never die; a deployable
+system cannot.  This module defines the fault events the fleet
+simulator understands — full crashes with a recovery time, and
+stragglers (a server that keeps serving but at a slowdown multiplier,
+the gray-failure mode that dominates real incident load) — plus the
+retry/timeout policy that governs what happens to requests caught in a
+fault.  Schedules are generated deterministically from a seed (same
+contract as :mod:`repro.serving.workload`: one ``random.Random(seed)``
+consumed in a fixed order), so a fault scenario is a reproducible,
+diffable artifact rather than a flake.
+
+Semantics, as implemented by :mod:`repro.serving.fleet`:
+
+* **Crash** — at ``at_s`` the server drops its in-flight batch; those
+  requests re-enter the queue (one retry attempt consumed, re-arriving
+  after ``RetryPolicy.backoff_s``).  The server is unavailable until
+  ``at_s + downtime_s``.
+* **Straggler** — batches *launched* inside the window take
+  ``slowdown``× their nominal latency.  Already-running batches are
+  unaffected (the slowdown is applied at launch, like a clock-throttle
+  taking effect between kernels).
+* **Timeout** — a request whose queueing delay exceeds
+  ``RetryPolicy.timeout_s`` abandons the queue; it retries (after
+  backoff) while attempts remain, else it is recorded as failed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Crash:
+    """A full server failure with bounded recovery.
+
+    Attributes:
+        server: fleet-wide server id the fault targets.
+        at_s: simulation time the server dies.
+        downtime_s: how long until the server rejoins its pool.
+    """
+
+    server: int
+    at_s: float
+    downtime_s: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0 or self.downtime_s <= 0:
+            raise ValueError("invalid crash timing")
+
+    @property
+    def recover_s(self) -> float:
+        """Absolute time the server comes back."""
+        return self.at_s + self.downtime_s
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """A slow-but-alive server window (gray failure).
+
+    Attributes:
+        server: fleet-wide server id the fault targets.
+        at_s: window start.
+        duration_s: window length.
+        slowdown: latency multiplier for batches launched inside the
+            window (must be > 1).
+    """
+
+    server: int
+    at_s: float
+    duration_s: float
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0 or self.duration_s <= 0:
+            raise ValueError("invalid straggler timing")
+        if self.slowdown <= 1.0:
+            raise ValueError("slowdown must exceed 1")
+
+    @property
+    def until_s(self) -> float:
+        """Absolute time the window closes."""
+        return self.at_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What happens to requests caught in a fault or a deep queue.
+
+    Attributes:
+        max_retries: additional attempts after the first (0 = fail on
+            first fault).
+        backoff_s: fixed delay before a retried request re-enters the
+            queue (client backoff).
+        timeout_s: maximum queueing delay before a request abandons its
+            attempt; ``None`` disables queue timeouts.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 1.0
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0 or self.backoff_s < 0:
+            raise ValueError("invalid retry policy")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout must be positive when set")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total tries a request gets (first attempt + retries)."""
+        return self.max_retries + 1
+
+
+NO_RETRIES = RetryPolicy(max_retries=0, backoff_s=0.0, timeout_s=None)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, ordered fault scenario for one simulation run."""
+
+    crashes: tuple[Crash, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+
+    def __post_init__(self) -> None:
+        for events in (self.crashes, self.stragglers):
+            times = [event.at_s for event in events]
+            if times != sorted(times):
+                raise ValueError("fault events must be time-ordered")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the schedule injects nothing (the control run)."""
+        return not self.crashes and not self.stragglers
+
+    def for_server(self, server: int) -> "FaultSchedule":
+        """The sub-schedule targeting one server."""
+        return FaultSchedule(
+            crashes=tuple(
+                crash for crash in self.crashes if crash.server == server
+            ),
+            stragglers=tuple(
+                event for event in self.stragglers
+                if event.server == server
+            ),
+        )
+
+
+FAULT_FREE = FaultSchedule()
+
+
+def generate_faults(
+    *,
+    servers: int,
+    duration_s: float,
+    seed: int = 0,
+    crash_rate_per_hour: float = 0.0,
+    mean_downtime_s: float = 60.0,
+    straggler_rate_per_hour: float = 0.0,
+    mean_straggler_s: float = 120.0,
+    slowdown: float = 3.0,
+) -> FaultSchedule:
+    """Draw a deterministic fault schedule for a fleet.
+
+    Crashes and stragglers are independent Poisson processes *per
+    server* with the given hourly rates; downtimes and straggler
+    windows are exponential around their means.  Draw order (the
+    seeding contract): first the crash process for every server in
+    ascending server-id order (arrival, then downtime, repeated), then
+    the straggler process for every server (arrival, then duration) —
+    so the same seed always yields the same schedule, and enabling
+    stragglers does not perturb the crash times.
+    """
+    if servers <= 0 or duration_s <= 0:
+        raise ValueError("servers and duration must be positive")
+    if crash_rate_per_hour < 0 or straggler_rate_per_hour < 0:
+        raise ValueError("fault rates must be non-negative")
+    if mean_downtime_s <= 0 or mean_straggler_s <= 0:
+        raise ValueError("mean fault durations must be positive")
+    if slowdown <= 1.0:
+        raise ValueError("slowdown must exceed 1")
+    rng = random.Random(seed)
+    crashes: list[Crash] = []
+    stragglers: list[Straggler] = []
+    if crash_rate_per_hour > 0:
+        for server in range(servers):
+            clock = 0.0
+            while True:
+                clock += rng.expovariate(crash_rate_per_hour / 3600.0)
+                if clock >= duration_s:
+                    break
+                downtime = rng.expovariate(1.0 / mean_downtime_s)
+                crashes.append(
+                    Crash(
+                        server=server, at_s=clock,
+                        downtime_s=max(downtime, 1.0),
+                    )
+                )
+                clock += downtime
+    for server in range(servers):
+        if straggler_rate_per_hour > 0:
+            clock = 0.0
+            while True:
+                clock += rng.expovariate(straggler_rate_per_hour / 3600.0)
+                if clock >= duration_s:
+                    break
+                window = rng.expovariate(1.0 / mean_straggler_s)
+                stragglers.append(
+                    Straggler(
+                        server=server, at_s=clock,
+                        duration_s=max(window, 1.0), slowdown=slowdown,
+                    )
+                )
+                clock += window
+    crashes.sort(key=lambda event: (event.at_s, event.server))
+    stragglers.sort(key=lambda event: (event.at_s, event.server))
+    return FaultSchedule(
+        crashes=tuple(crashes), stragglers=tuple(stragglers)
+    )

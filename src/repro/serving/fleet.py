@@ -1,0 +1,754 @@
+"""Fleet-scale discrete-event serving simulator.
+
+The single-pool FIFO queue answered "how many GPUs for this SLO"; a
+production TTI/TTV deployment is messier: heterogeneous pools (mixed
+A100/H100 generations from the :mod:`repro.distributed` machine
+registry, or multi-GPU sharded replicas acting as one server), a
+scheduling policy per pool, servers that crash and straggle, clients
+that time out and retry, and an autoscaler reacting to backlog.  This
+module simulates all of that with one event heap, deterministically:
+the only randomness lives in the workload and fault *inputs* (both
+seed-pinned), so a simulation is a pure function of its arguments.
+
+Mechanics:
+
+* Requests are routed at arrival (and at each retry) to the eligible
+  pool — one whose latency table knows the request's model — with the
+  lowest load per active server.
+* Each pool runs a :class:`repro.serving.policies.SchedulingPolicy`;
+  batches are single-model, and switching the served model charges the
+  pool's ``swap_cost_s`` (weight reload).
+* Faults follow :mod:`repro.serving.faults` semantics: crashes abort
+  the in-flight batch (requests retry with backoff until attempts run
+  out), stragglers multiply the latency of batches launched in their
+  window, queue timeouts abandon attempts.
+* The optional autoscaler activates standby servers when backlog per
+  active server crosses a threshold, and drains idle ones when it
+  falls; activation pays a model-load delay.
+
+The output :class:`FleetReport` feeds :mod:`repro.serving.slo`, which
+turns raw completions into p50/p95/p99, goodput and availability.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.sharded import ShardedReplica
+
+from repro.distributed.registry import machine_from_name
+from repro.hw.spec import GPUSpec
+from repro.ir.dtypes import FP16
+from repro.serving.batching import BatchLatencyFn
+from repro.serving.faults import (
+    FAULT_FREE,
+    NO_RETRIES,
+    FaultSchedule,
+    RetryPolicy,
+)
+from repro.serving.policies import FifoPolicy, SchedulingPolicy
+from repro.serving.workload import Request
+
+
+def affine_batch_latency(
+    base_s: float, *, marginal_fraction: float = 0.3
+) -> BatchLatencyFn:
+    """Batch-latency curve from a single-request service time.
+
+    Models the measured sub-linear batching curve as a fixed cost plus
+    a per-request marginal cost: ``latency(b) = base * ((1 - mf) + mf *
+    b)``, so ``latency(1) == base`` and each extra request adds
+    ``mf * base``.  Use measured curves
+    (:func:`repro.serving.batching.interpolated_batch_latency`) when
+    profiles are available; this is the honest fallback for pools
+    specified by scalar service times.
+    """
+    if base_s <= 0:
+        raise ValueError("base service time must be positive")
+    if not 0.0 < marginal_fraction <= 1.0:
+        raise ValueError("marginal fraction must be in (0, 1]")
+
+    def latency(batch: int) -> float:
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        return base_s * ((1.0 - marginal_fraction)
+                         + marginal_fraction * batch)
+
+    return latency
+
+
+def machine_speed_factor(
+    machine: str, *, reference: str = "dgx-a100-80g"
+) -> float:
+    """Crude serving-speed ratio between two registered machines.
+
+    Geometric mean of the FP16 tensor-peak ratio and the HBM-bandwidth
+    ratio — the two roofline axes — between ``machine`` and
+    ``reference``.  Good enough to scale a pool's service times across
+    hardware generations when re-profiling is not worth it; experiments
+    that care (``serve1``) profile on the target GPU instead.
+    """
+    target: GPUSpec = machine_from_name(machine).gpu
+    base: GPUSpec = machine_from_name(reference).gpu
+    flops = target.peak_flops_for(FP16) / base.peak_flops_for(FP16)
+    bandwidth = target.dram_bandwidth / base.dram_bandwidth
+    return (flops * bandwidth) ** 0.5
+
+
+def pool_from_replicas(
+    name: str,
+    replicas: Sequence["ShardedReplica"],
+    *,
+    servers: int,
+    **kwargs: object,
+) -> "PoolSpec":
+    """Build a pool whose servers are multi-GPU sharded replicas.
+
+    Each :class:`repro.serving.sharded.ShardedReplica` contributes its
+    measured batch-latency curve for its model; all replicas must live
+    on the same registry machine (a pool is homogeneous hardware).
+    ``servers`` counts replicas, not GPUs — per-GPU accounting should
+    divide by ``replica.gpus``.  Extra keyword arguments pass through
+    to :class:`PoolSpec` (``max_batch``, ``policy``, ...).
+    """
+    if not replicas:
+        raise ValueError("need at least one replica")
+    machines = {replica.machine_name for replica in replicas}
+    if len(machines) > 1:
+        raise ValueError(
+            f"replicas span machines {sorted(machines)}; one pool is "
+            "homogeneous — split them into separate pools"
+        )
+    models = [replica.model_name for replica in replicas]
+    if len(set(models)) != len(models):
+        raise ValueError("one replica per model per pool")
+    return PoolSpec(
+        name=name,
+        machine=machines.pop(),
+        servers=servers,
+        latency_fns={
+            replica.model_name: replica.latency_fn
+            for replica in replicas
+        },
+        **kwargs,
+    )
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """One homogeneous server pool inside the fleet.
+
+    Attributes:
+        name: pool label (appears in reports and routing).
+        machine: :mod:`repro.distributed.registry` machine name the
+            servers run on (validated at simulation start).
+        servers: initially active server count.
+        latency_fns: model name -> batch-latency function on this
+            hardware; its key set defines which models the pool can
+            serve (routing eligibility).
+        max_batch: dynamic-batching cap per launch.
+        policy: scheduling policy instance (default FIFO).
+        swap_cost_s: added to the first batch after the served model
+            changes (weight reload from host memory).
+        min_servers: autoscaler floor.
+        max_servers: autoscaler ceiling (standby servers exist between
+            ``servers`` and this); defaults to ``servers`` (no
+            headroom).
+    """
+
+    name: str
+    machine: str
+    servers: int
+    latency_fns: Mapping[str, BatchLatencyFn]
+    max_batch: int = 8
+    policy: SchedulingPolicy = field(default_factory=FifoPolicy)
+    swap_cost_s: float = 0.0
+    min_servers: int = 1
+    max_servers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.servers <= 0 or self.max_batch <= 0:
+            raise ValueError("servers and max_batch must be positive")
+        if not self.latency_fns:
+            raise ValueError("pool must serve at least one model")
+        if self.swap_cost_s < 0:
+            raise ValueError("swap cost must be non-negative")
+        if not 1 <= self.min_servers <= self.servers:
+            raise ValueError("need 1 <= min_servers <= servers")
+        if self.max_servers is not None and self.max_servers < self.servers:
+            raise ValueError("max_servers must be >= servers")
+
+    @property
+    def standby_servers(self) -> int:
+        """Servers the autoscaler may add beyond the initial count."""
+        if self.max_servers is None:
+            return 0
+        return self.max_servers - self.servers
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Reactive backlog-threshold autoscaling.
+
+    Attributes:
+        check_interval_s: seconds between scaling decisions.
+        scale_up_backlog: queued requests per active server above which
+            a standby server is activated.
+        scale_down_backlog: backlog per active server below which an
+            idle server is drained (never under the pool floor).
+        startup_s: activation delay (boot + weight load) before a
+            scaled-up server takes traffic.
+        cooldown_s: minimum time between scaling actions per pool.
+    """
+
+    check_interval_s: float = 30.0
+    scale_up_backlog: float = 4.0
+    scale_down_backlog: float = 0.5
+    startup_s: float = 30.0
+    cooldown_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.check_interval_s <= 0 or self.startup_s < 0:
+            raise ValueError("invalid autoscaler timing")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown must be non-negative")
+        if not 0 <= self.scale_down_backlog < self.scale_up_backlog:
+            raise ValueError(
+                "need 0 <= scale_down_backlog < scale_up_backlog"
+            )
+
+
+@dataclass(frozen=True)
+class FleetCompletion:
+    """One successfully served request with its fleet timeline."""
+
+    request: Request
+    pool: str
+    server: int
+    queued_since_s: float
+    start_s: float
+    finish_s: float
+    attempts: int
+
+    @property
+    def latency_s(self) -> float:
+        """Client-observed latency including retries and backoff."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        """Time on the GPU for the final (successful) attempt."""
+        return self.finish_s - self.start_s
+
+    @property
+    def queueing_s(self) -> float:
+        """Everything that is not final-attempt service time."""
+        return self.latency_s - self.service_s
+
+    @property
+    def retried(self) -> bool:
+        """True when the request needed more than one attempt."""
+        return self.attempts > 1
+
+
+@dataclass(frozen=True)
+class FailedRequest:
+    """A request that exhausted its attempts."""
+
+    request: Request
+    pool: str
+    attempts: int
+    reason: str
+    failed_at_s: float
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Aggregate accounting for one pool over the run."""
+
+    name: str
+    machine: str
+    servers: int
+    peak_servers: int
+    completed: int
+    busy_s: float
+    wasted_s: float
+    down_s: float
+    capacity_s: float
+    swaps: int
+
+    @property
+    def utilization(self) -> float:
+        """Useful busy time over available server-seconds."""
+        if self.capacity_s <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_s / self.capacity_s)
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Everything a fleet simulation produced."""
+
+    completed: tuple[FleetCompletion, ...]
+    failed: tuple[FailedRequest, ...]
+    pools: tuple[PoolStats, ...]
+    makespan_s: float
+    offered: int
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of offered requests that eventually completed."""
+        if self.offered == 0:
+            return 0.0
+        return len(self.completed) / self.offered
+
+    @property
+    def retried_count(self) -> int:
+        """Completed requests that needed more than one attempt."""
+        return sum(1 for record in self.completed if record.retried)
+
+    def pool_stats(self, name: str) -> PoolStats:
+        """Stats for one pool by name."""
+        for stats in self.pools:
+            if stats.name == name:
+                return stats
+        raise ValueError(f"unknown pool {name!r}")
+
+
+class _Queued:
+    """Mutable queue entry: one attempt of one request.
+
+    ``token`` increments on every enqueue so timeout events scheduled
+    for an earlier attempt cannot abandon a later one.
+    """
+
+    __slots__ = (
+        "request", "attempts", "queued_since_s", "in_queue", "token",
+    )
+
+    def __init__(
+        self, request: Request, attempts: int, queued_since_s: float
+    ):
+        self.request = request
+        self.attempts = attempts
+        self.queued_since_s = queued_since_s
+        self.in_queue = False
+        self.token = 0
+
+
+class _Server:
+    """Mutable per-server simulation state."""
+
+    __slots__ = (
+        "sid", "pool", "alive", "active", "activated_at", "active_s",
+        "down_since", "down_s", "busy_s", "wasted_s", "last_model",
+        "generation", "batch", "batch_start", "batch_model", "swaps",
+    )
+
+    def __init__(self, sid: int, pool: "_Pool", active: bool):
+        self.sid = sid
+        self.pool = pool
+        self.alive = True
+        self.active = active
+        self.activated_at = 0.0 if active else None
+        self.active_s = 0.0
+        self.down_since: float | None = None
+        self.down_s = 0.0
+        self.busy_s = 0.0
+        self.wasted_s = 0.0
+        self.last_model: str | None = None
+        self.generation = 0
+        self.batch: list[_Queued] | None = None
+        self.batch_start = 0.0
+        self.batch_model = ""
+        self.swaps = 0
+
+    @property
+    def free(self) -> bool:
+        """Can this server take a batch right now?"""
+        return self.alive and self.active and self.batch is None
+
+
+class _Pool:
+    """Mutable per-pool simulation state."""
+
+    __slots__ = (
+        "spec", "queue", "servers", "last_scale_at", "peak_servers",
+        "pending_activations",
+    )
+
+    def __init__(self, spec: PoolSpec):
+        self.spec = spec
+        self.queue: list[_Queued] = []
+        self.servers: list[_Server] = []
+        self.last_scale_at = float("-inf")
+        self.peak_servers = spec.servers
+        self.pending_activations = 0
+
+    @property
+    def active_count(self) -> int:
+        """Servers currently taking traffic."""
+        return sum(1 for server in self.servers if server.active)
+
+    @property
+    def busy_count(self) -> int:
+        """Servers currently running a batch."""
+        return sum(
+            1 for server in self.servers if server.batch is not None
+        )
+
+    def load(self) -> float:
+        """Backlog plus in-flight work per active server (routing)."""
+        active = max(1, self.active_count)
+        return (len(self.queue) + self.busy_count) / active
+
+
+def simulate_fleet(
+    requests: Sequence[Request],
+    pools: Sequence[PoolSpec],
+    *,
+    retry: RetryPolicy = NO_RETRIES,
+    faults: FaultSchedule = FAULT_FREE,
+    autoscaler: AutoscalerConfig | None = None,
+) -> FleetReport:
+    """Run the fleet discrete-event simulation to completion.
+
+    Server ids are assigned pool-by-pool in declaration order — active
+    servers first, then the pool's standby (autoscaling) servers — so a
+    :class:`~repro.serving.faults.FaultSchedule` can target "server 2
+    of the first pool" stably.  The simulation is deterministic: same
+    requests, pools, retry policy, fault schedule and autoscaler config
+    produce an identical :class:`FleetReport`.
+    """
+    if not pools:
+        raise ValueError("need at least one pool")
+    names = [spec.name for spec in pools]
+    if len(set(names)) != len(names):
+        raise ValueError("pool names must be unique")
+    for spec in pools:
+        machine_from_name(spec.machine)  # validate early
+    state = _FleetState(pools, retry, faults, autoscaler)
+    return state.run(requests)
+
+
+class _FleetState:
+    """The event loop and bookkeeping behind :func:`simulate_fleet`."""
+
+    def __init__(
+        self,
+        pools: Sequence[PoolSpec],
+        retry: RetryPolicy,
+        faults: FaultSchedule,
+        autoscaler: AutoscalerConfig | None,
+    ):
+        self.retry = retry
+        self.autoscaler = autoscaler
+        self.pools = [_Pool(spec) for spec in pools]
+        self.servers: list[_Server] = []
+        for pool in self.pools:
+            for index in range(
+                pool.spec.servers + pool.spec.standby_servers
+            ):
+                server = _Server(
+                    len(self.servers), pool,
+                    active=index < pool.spec.servers,
+                )
+                pool.servers.append(server)
+                self.servers.append(server)
+        self.faults = faults
+        self.heap: list[tuple[float, int, str, object]] = []
+        self.seq = 0
+        self.completed: list[FleetCompletion] = []
+        self.failed: list[FailedRequest] = []
+        self.last_arrival = 0.0
+
+    def push(self, time: float, kind: str, payload: object) -> None:
+        """Schedule one event (stable FIFO order at equal times)."""
+        self.seq += 1
+        heapq.heappush(self.heap, (time, self.seq, kind, payload))
+
+    def run(self, requests: Sequence[Request]) -> FleetReport:
+        """Drain arrivals, faults and scaling events; build the report."""
+        offered = len(requests)
+        for request in requests:
+            self.push(request.arrival_s, "arrival", request)
+            self.last_arrival = max(self.last_arrival, request.arrival_s)
+        for crash in self.faults.crashes:
+            if crash.server < len(self.servers):
+                self.push(crash.at_s, "crash", crash)
+        if self.autoscaler is not None:
+            self.push(self.autoscaler.check_interval_s, "tick", None)
+        while self.heap:
+            now, _, kind, payload = heapq.heappop(self.heap)
+            getattr(self, f"_on_{kind}")(now, payload)
+        makespan = max(
+            [record.finish_s for record in self.completed]
+            + [record.failed_at_s for record in self.failed]
+            + [self.last_arrival],
+            default=0.0,
+        )
+        return FleetReport(
+            completed=tuple(
+                sorted(self.completed, key=lambda c: c.finish_s)
+            ),
+            failed=tuple(
+                sorted(self.failed, key=lambda f: f.failed_at_s)
+            ),
+            pools=tuple(
+                self._pool_stats(pool, makespan) for pool in self.pools
+            ),
+            makespan_s=makespan,
+            offered=offered,
+        )
+
+    # -- event handlers ------------------------------------------------
+
+    def _on_arrival(self, now: float, request: Request) -> None:
+        entry = _Queued(request, attempts=1, queued_since_s=now)
+        self._enqueue(now, entry)
+
+    def _on_retry(self, now: float, entry: _Queued) -> None:
+        entry.queued_since_s = now
+        self._enqueue(now, entry)
+
+    def _on_free(self, now: float, payload: object) -> None:
+        server, generation = payload  # type: ignore[misc]
+        if server.generation != generation or server.batch is None:
+            return  # aborted by a crash
+        server.busy_s += now - server.batch_start
+        for entry in server.batch:
+            self.completed.append(
+                FleetCompletion(
+                    request=entry.request,
+                    pool=server.pool.spec.name,
+                    server=server.sid,
+                    queued_since_s=entry.queued_since_s,
+                    start_s=server.batch_start,
+                    finish_s=now,
+                    attempts=entry.attempts,
+                )
+            )
+        server.last_model = server.batch_model
+        server.batch = None
+        self._dispatch(server.pool, now)
+
+    def _on_crash(self, now: float, crash) -> None:
+        server = self.servers[crash.server]
+        if not server.alive or not server.active:
+            return  # already down, or a cold standby — nothing to kill
+        server.alive = False
+        server.down_since = now
+        server.generation += 1
+        if server.batch is not None:
+            server.wasted_s += now - server.batch_start
+            for entry in server.batch:
+                self._retry_or_fail(
+                    now, entry, reason="crash",
+                    pool=server.pool.spec.name,
+                )
+            server.batch = None
+        self.push(crash.recover_s, "recover", server)
+
+    def _on_recover(self, now: float, server: _Server) -> None:
+        if server.alive:
+            return
+        server.alive = True
+        if server.down_since is not None:
+            server.down_s += now - server.down_since
+            server.down_since = None
+        self._dispatch(server.pool, now)
+
+    def _on_timeout(self, now: float, payload: object) -> None:
+        entry, pool, token = payload  # type: ignore[misc]
+        if not entry.in_queue or entry.token != token:
+            return  # served, abandoned, or retried in the meantime
+        pool.queue.remove(entry)
+        entry.in_queue = False
+        self._retry_or_fail(
+            now, entry, reason="timeout", pool=pool.spec.name
+        )
+
+    def _on_activate(self, now: float, server: _Server) -> None:
+        server.active = True
+        server.activated_at = now
+        server.pool.pending_activations -= 1
+        server.pool.peak_servers = max(
+            server.pool.peak_servers, server.pool.active_count
+        )
+        self._dispatch(server.pool, now)
+
+    def _on_tick(self, now: float, _payload: object) -> None:
+        assert self.autoscaler is not None
+        config = self.autoscaler
+        for pool in self.pools:
+            if now - pool.last_scale_at < config.cooldown_s:
+                continue
+            backlog = len(pool.queue) / max(1, pool.active_count)
+            scalable = pool.active_count + pool.pending_activations
+            if (
+                backlog >= config.scale_up_backlog
+                and scalable < len(pool.servers)
+            ):
+                standby = next(
+                    server for server in pool.servers
+                    if not server.active
+                )
+                pool.pending_activations += 1
+                pool.last_scale_at = now
+                self.push(now + config.startup_s, "activate", standby)
+            elif (
+                backlog <= config.scale_down_backlog
+                and pool.active_count > pool.spec.min_servers
+            ):
+                idle = next(
+                    (
+                        server for server in reversed(pool.servers)
+                        if server.free
+                    ),
+                    None,
+                )
+                if idle is not None:
+                    idle.active = False
+                    if idle.activated_at is not None:
+                        idle.active_s += now - idle.activated_at
+                        idle.activated_at = None
+                    pool.last_scale_at = now
+        pending = (
+            any(pool.queue for pool in self.pools)
+            or any(server.batch is not None for server in self.servers)
+            or any(pool.pending_activations for pool in self.pools)
+            or now < self.last_arrival
+        )
+        if pending:
+            self.push(now + config.check_interval_s, "tick", None)
+
+    # -- mechanics -----------------------------------------------------
+
+    def _route(self, request: Request) -> _Pool | None:
+        eligible = [
+            pool for pool in self.pools
+            if request.model in pool.spec.latency_fns
+        ]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda pool: pool.load())
+
+    def _enqueue(self, now: float, entry: _Queued) -> None:
+        pool = self._route(entry.request)
+        if pool is None:
+            self.failed.append(
+                FailedRequest(
+                    request=entry.request, pool="", attempts=entry.attempts,
+                    reason="unroutable", failed_at_s=now,
+                )
+            )
+            return
+        entry.in_queue = True
+        entry.token += 1
+        pool.queue.append(entry)
+        if self.retry.timeout_s is not None:
+            self.push(
+                now + self.retry.timeout_s, "timeout",
+                (entry, pool, entry.token),
+            )
+        self._dispatch(pool, now)
+
+    def _retry_or_fail(
+        self, now: float, entry: _Queued, *, reason: str, pool: str
+    ) -> None:
+        if entry.attempts >= self.retry.max_attempts:
+            self.failed.append(
+                FailedRequest(
+                    request=entry.request, pool=pool,
+                    attempts=entry.attempts, reason=reason,
+                    failed_at_s=now,
+                )
+            )
+            return
+        entry.attempts += 1
+        self.push(now + self.retry.backoff_s, "retry", entry)
+
+    def _dispatch(self, pool: _Pool, now: float) -> None:
+        while pool.queue:
+            server = next(
+                (server for server in pool.servers if server.free), None
+            )
+            if server is None:
+                return
+            indices = pool.spec.policy.select(
+                pool.queue, now=now, max_batch=pool.spec.max_batch,
+                last_model=server.last_model,
+            )
+            if not indices:
+                return
+            batch = [pool.queue[index] for index in indices]
+            model = batch[0].request.model
+            if any(
+                entry.request.model != model for entry in batch
+            ) or len(batch) > pool.spec.max_batch:
+                raise ValueError(
+                    f"policy {pool.spec.policy.name!r} returned an "
+                    "invalid batch"
+                )
+            for index in sorted(indices, reverse=True):
+                pool.queue.pop(index)
+            for entry in batch:
+                entry.in_queue = False
+            latency = pool.spec.latency_fns[model](len(batch))
+            latency *= self._straggler_factor(server, now)
+            if (
+                server.last_model is not None
+                and server.last_model != model
+            ):
+                latency += pool.spec.swap_cost_s
+                server.swaps += 1
+            server.batch = batch
+            server.batch_start = now
+            server.batch_model = model
+            self.push(
+                now + latency, "free", (server, server.generation)
+            )
+
+    def _straggler_factor(self, server: _Server, now: float) -> float:
+        for window in self.faults.stragglers:
+            if (
+                window.server == server.sid
+                and window.at_s <= now < window.until_s
+            ):
+                return window.slowdown
+        return 1.0
+
+    def _pool_stats(self, pool: _Pool, makespan: float) -> PoolStats:
+        busy = sum(server.busy_s for server in pool.servers)
+        wasted = sum(server.wasted_s for server in pool.servers)
+        down = 0.0
+        capacity = 0.0
+        swaps = sum(server.swaps for server in pool.servers)
+        completed = sum(
+            1 for record in self.completed
+            if record.pool == pool.spec.name
+        )
+        for server in pool.servers:
+            server_down = server.down_s
+            if server.down_since is not None:
+                server_down += max(0.0, makespan - server.down_since)
+            down += server_down
+            active = server.active_s
+            if server.activated_at is not None:
+                active += max(0.0, makespan - server.activated_at)
+            capacity += max(0.0, active - server_down)
+        return PoolStats(
+            name=pool.spec.name,
+            machine=pool.spec.machine,
+            servers=pool.spec.servers,
+            peak_servers=pool.peak_servers,
+            completed=completed,
+            busy_s=busy,
+            wasted_s=wasted,
+            down_s=down,
+            capacity_s=capacity,
+            swaps=swaps,
+        )

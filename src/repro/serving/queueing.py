@@ -44,19 +44,29 @@ class QueueReport:
 
     @property
     def throughput_per_s(self) -> float:
+        if not self.completed or self.makespan_s == 0.0:
+            return 0.0
         return len(self.completed) / self.makespan_s
 
     @property
     def utilization(self) -> float:
+        if not self.completed or self.makespan_s == 0.0:
+            return 0.0
         busy = sum(
             record.finish_s - record.start_s for record in self.completed
         )
         return busy / (self.servers * self.makespan_s)
 
     def latency_percentile(self, percentile: float) -> float:
-        """Latency at ``percentile`` (nearest-rank over completions)."""
+        """Latency at ``percentile`` (nearest-rank over completions).
+
+        An empty report (idle server) has no latency distribution;
+        every percentile is 0.0 by convention.
+        """
         if not 0.0 < percentile <= 100.0:
             raise ValueError("percentile must be in (0, 100]")
+        if not self.completed:
+            return 0.0
         latencies = sorted(
             record.latency_s for record in self.completed
         )
@@ -68,12 +78,16 @@ class QueueReport:
 
     @property
     def mean_latency_s(self) -> float:
+        if not self.completed:
+            return 0.0
         return sum(
             record.latency_s for record in self.completed
         ) / len(self.completed)
 
     @property
     def mean_queueing_s(self) -> float:
+        if not self.completed:
+            return 0.0
         return sum(
             record.queueing_s for record in self.completed
         ) / len(self.completed)

@@ -1,0 +1,214 @@
+"""SLO accounting over fleet simulation output.
+
+Turns a :class:`repro.serving.fleet.FleetReport` into the numbers an
+on-call serving team is paged on.  Formulas (documented here and in
+``docs/SERVING.md`` — tests pin them):
+
+* **pN latency** — nearest-rank percentile over client-observed
+  latencies (arrival to final completion, retries and backoff
+  included).
+* **Queueing vs service** — per completion, ``service`` is the final
+  attempt's GPU time and ``queueing`` is everything else (queue waits,
+  lost attempts, backoff); means are reported per model.
+* **Goodput** — fraction of *offered* requests (per model: completed +
+  failed) that completed within their deadline.  Failures therefore
+  count against goodput even though they have no latency sample.
+* **Violation seconds** — ``sum(max(0, latency - deadline))`` over
+  completions: total excess latency experienced by clients, the
+  integral an error-budget burn is computed from.
+* **Availability** — ``1 - down / (capacity + down)`` over all pools:
+  the fraction of scheduled server-seconds servers were actually up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.reporting.table import render_table
+from repro.serving.fleet import FleetReport
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not 0.0 < p <= 100.0:
+        raise ValueError("percentile must be in (0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = max(
+        0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1)
+    )
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class ModelSlo:
+    """SLO accounting for one model's traffic."""
+
+    model: str
+    deadline_s: float
+    completed: int
+    failed: int
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_queueing_s: float
+    mean_service_s: float
+    within_deadline: int
+    violation_s: float
+
+    @property
+    def offered(self) -> int:
+        """Requests that reached a terminal state for this model."""
+        return self.completed + self.failed
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of offered requests served within deadline."""
+        if self.offered == 0:
+            return 0.0
+        return self.within_deadline / self.offered
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Fleet-wide SLO summary plus the per-model breakdown."""
+
+    per_model: tuple[ModelSlo, ...]
+    availability: float
+    makespan_s: float
+
+    @property
+    def goodput(self) -> float:
+        """Offered-weighted goodput across every model."""
+        offered = sum(model.offered for model in self.per_model)
+        if offered == 0:
+            return 0.0
+        within = sum(model.within_deadline for model in self.per_model)
+        return within / offered
+
+    @property
+    def violation_s(self) -> float:
+        """Total excess latency beyond deadlines, fleet-wide."""
+        return sum(model.violation_s for model in self.per_model)
+
+    @property
+    def failed(self) -> int:
+        """Requests that exhausted their attempts, fleet-wide."""
+        return sum(model.failed for model in self.per_model)
+
+    def model(self, name: str) -> ModelSlo:
+        """Per-model accounting by model name."""
+        for entry in self.per_model:
+            if entry.model == name:
+                return entry
+        raise ValueError(f"no traffic for model {name!r}")
+
+    def render(self, *, title: str = "SLO accounting") -> str:
+        """Text table of the per-model SLO numbers."""
+        rows = [
+            [
+                entry.model,
+                entry.offered,
+                f"{entry.p50_s:.2f}",
+                f"{entry.p95_s:.2f}",
+                f"{entry.p99_s:.2f}",
+                f"{entry.mean_queueing_s:.2f}",
+                f"{entry.mean_service_s:.2f}",
+                f"{entry.goodput * 100:.1f}%",
+                f"{entry.violation_s:.1f}",
+            ]
+            for entry in self.per_model
+        ]
+        return render_table(
+            [
+                "model", "offered", "p50 s", "p95 s", "p99 s",
+                "queue s", "service s", "goodput", "violation s",
+            ],
+            rows,
+            title=(
+                f"{title} (goodput {self.goodput * 100:.1f}%, "
+                f"availability {self.availability * 100:.2f}%)"
+            ),
+        )
+
+
+def slo_report(
+    report: FleetReport,
+    deadlines: Mapping[str, float] | float,
+) -> SloReport:
+    """Compute SLO accounting from a fleet run.
+
+    ``deadlines`` maps model name to its latency deadline in seconds;
+    a scalar applies one deadline to every model.
+    """
+    models = sorted(
+        {record.request.model for record in report.completed}
+        | {record.request.model for record in report.failed}
+    )
+
+    def deadline_for(model: str) -> float:
+        if isinstance(deadlines, Mapping):
+            try:
+                value = deadlines[model]
+            except KeyError:
+                raise ValueError(
+                    f"no deadline for model {model!r}"
+                ) from None
+        else:
+            value = deadlines
+        if value <= 0:
+            raise ValueError("deadlines must be positive")
+        return value
+
+    per_model = []
+    for model in models:
+        deadline = deadline_for(model)
+        completions = [
+            record for record in report.completed
+            if record.request.model == model
+        ]
+        failures = sum(
+            1 for record in report.failed
+            if record.request.model == model
+        )
+        latencies = [record.latency_s for record in completions]
+        count = len(completions)
+        per_model.append(
+            ModelSlo(
+                model=model,
+                deadline_s=deadline,
+                completed=count,
+                failed=failures,
+                p50_s=percentile(latencies, 50.0),
+                p95_s=percentile(latencies, 95.0),
+                p99_s=percentile(latencies, 99.0),
+                mean_queueing_s=(
+                    sum(r.queueing_s for r in completions) / count
+                    if count else 0.0
+                ),
+                mean_service_s=(
+                    sum(r.service_s for r in completions) / count
+                    if count else 0.0
+                ),
+                within_deadline=sum(
+                    1 for value in latencies if value <= deadline
+                ),
+                violation_s=sum(
+                    max(0.0, value - deadline) for value in latencies
+                ),
+            )
+        )
+    down = sum(stats.down_s for stats in report.pools)
+    scheduled = sum(
+        stats.capacity_s + stats.down_s for stats in report.pools
+    )
+    availability = (
+        1.0 - down / scheduled if scheduled > 0 else 1.0
+    )
+    return SloReport(
+        per_model=tuple(per_model),
+        availability=availability,
+        makespan_s=report.makespan_s,
+    )

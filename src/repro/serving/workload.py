@@ -3,8 +3,27 @@
 The paper's closing argument is about "designing efficient and
 deployable systems" for TTI/TTV; deployability is a queueing question
 as much as a kernel question.  This module generates synthetic request
-streams (Poisson arrivals over a model mix) whose per-request service
-times come from the same profiles as everything else in the repository.
+streams whose per-request service times come from the same profiles as
+everything else in the repository: homogeneous Poisson arrivals
+(:func:`generate_requests`) and non-homogeneous arrivals over a
+time-varying rate — diurnal cycles and flash-crowd bursts
+(:func:`generate_requests_pattern`) — which is what production TTI
+traffic actually looks like (ServeGen, arXiv:2505.09999).
+
+Seeding contract
+----------------
+
+Every generator in this module (and :mod:`repro.serving.faults`) is a
+pure function of its arguments: all randomness flows through one
+``random.Random(seed)`` instance consumed in a single documented order
+(inter-arrival draw, then model choice, then jitter draw, per request).
+The same arguments therefore produce *byte-identical* request streams —
+``repr()`` and JSON serializations compare equal — across processes and
+platforms, because CPython's Mersenne Twister is deterministic and no
+iteration order over unordered containers is involved (model names are
+taken in ``dict`` insertion order, which is part of the mix's value).
+Tests pin this contract (``tests/serving/test_determinism.py``); any
+change to the draw order is a breaking change to recorded workloads.
 """
 
 from __future__ import annotations
@@ -12,6 +31,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 
 @dataclass(frozen=True)
@@ -78,6 +98,130 @@ def suite_mix_from_profiles(
     return WorkloadMix(shares=dict(shares), service_s=service)
 
 
+RateFn = Callable[[float], float]
+"""Instantaneous arrival rate (requests/s) as a function of sim time."""
+
+
+def constant_rate(rate: float) -> RateFn:
+    """A flat arrival-rate function (homogeneous Poisson)."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    return lambda _t: rate
+
+
+def diurnal_rate(
+    mean_rate: float,
+    *,
+    peak_to_trough: float = 3.0,
+    period_s: float = 86400.0,
+    phase_s: float = 0.0,
+) -> RateFn:
+    """Sinusoidal day/night traffic cycle around ``mean_rate``.
+
+    ``peak_to_trough`` is the ratio between the daily maximum and
+    minimum rate; the curve is ``mean * (1 + a*sin(...))`` with the
+    amplitude ``a`` solved from that ratio, so the time-average rate
+    stays ``mean_rate`` regardless of the swing.
+    """
+    if mean_rate <= 0 or period_s <= 0:
+        raise ValueError("mean rate and period must be positive")
+    if peak_to_trough < 1.0:
+        raise ValueError("peak_to_trough must be >= 1")
+    amplitude = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+
+    def rate(t: float) -> float:
+        return mean_rate * (
+            1.0 + amplitude * math.sin(
+                2.0 * math.pi * (t - phase_s) / period_s
+            )
+        )
+
+    return rate
+
+
+def bursty_rate(
+    base_rate: float,
+    *,
+    burst_rate: float,
+    bursts: tuple[tuple[float, float], ...],
+) -> RateFn:
+    """Flash-crowd traffic: a base rate with rate spikes.
+
+    ``bursts`` is a tuple of ``(start_s, duration_s)`` windows during
+    which the arrival rate jumps to ``burst_rate`` — the regime where
+    queues actually build and autoscalers earn their keep.
+    """
+    if base_rate <= 0 or burst_rate <= 0:
+        raise ValueError("rates must be positive")
+    if burst_rate < base_rate:
+        raise ValueError("burst rate must be >= base rate")
+    if any(start < 0 or duration <= 0 for start, duration in bursts):
+        raise ValueError("burst windows must be non-negative/positive")
+    windows = tuple(sorted(bursts))
+
+    def rate(t: float) -> float:
+        for start, duration in windows:
+            if start <= t < start + duration:
+                return burst_rate
+        return base_rate
+
+    return rate
+
+
+def generate_requests_pattern(
+    mix: WorkloadMix,
+    rate_fn: RateFn,
+    *,
+    peak_rate: float,
+    duration_s: float,
+    seed: int = 0,
+    service_jitter: float = 0.05,
+) -> list[Request]:
+    """Non-homogeneous Poisson arrivals via Lewis-Shedler thinning.
+
+    Candidate arrivals are drawn at ``peak_rate`` (which must bound
+    ``rate_fn`` from above over the horizon) and accepted with
+    probability ``rate_fn(t) / peak_rate``.  Draw order per candidate is
+    inter-arrival, acceptance, then (for accepted arrivals) model choice
+    and jitter — the seeding contract in the module docstring.
+    """
+    if peak_rate <= 0 or duration_s <= 0:
+        raise ValueError("peak rate and duration must be positive")
+    if not 0.0 <= service_jitter < 1.0:
+        raise ValueError("service jitter must be in [0, 1)")
+    rng = random.Random(seed)
+    names = list(mix.shares)
+    weights = [mix.shares[name] for name in names]
+    requests: list[Request] = []
+    clock = 0.0
+    index = 0
+    while True:
+        clock += rng.expovariate(peak_rate)
+        if clock >= duration_s:
+            break
+        instantaneous = rate_fn(clock)
+        if instantaneous > peak_rate * (1.0 + 1e-9):
+            raise ValueError(
+                f"rate_fn({clock:.1f}) = {instantaneous:.3f} exceeds "
+                f"peak_rate = {peak_rate:.3f}; thinning needs an upper "
+                "bound"
+            )
+        if rng.random() >= instantaneous / peak_rate:
+            continue
+        model = rng.choices(names, weights)[0]
+        jitter = 1.0 + rng.uniform(-service_jitter, service_jitter)
+        requests.append(
+            Request(
+                request_id=index,
+                arrival_s=clock,
+                model=model,
+                service_s=mix.service_s[model] * jitter,
+            )
+        )
+        index += 1
+    return requests
+
+
 def generate_requests(
     mix: WorkloadMix,
     *,
@@ -89,7 +233,9 @@ def generate_requests(
     """Poisson arrivals over ``duration_s`` with the given mix.
 
     ``service_jitter`` adds a uniform ±fraction to service times
-    (prompt-length variation etc.).
+    (prompt-length variation etc.).  Deterministic per the module's
+    seeding contract: per request, the draws are inter-arrival, model
+    choice, jitter.
     """
     if arrival_rate <= 0 or duration_s <= 0:
         raise ValueError("arrival rate and duration must be positive")

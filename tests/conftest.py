@@ -1,11 +1,31 @@
 """Shared fixtures: the suite profiles are expensive (~10 s), so they
-are computed once per session through the experiments-level cache."""
+are computed once per session through the experiments-level cache.
+
+Also registers the ``--update-golden`` flag used by ``tests/golden``
+to refresh the committed golden-trace JSON files after an intentional
+performance-model change."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.experiments.suite_cache import all_profiles, model_instance
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current model "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    """True when the run should refresh golden files, not check them."""
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture(scope="session")

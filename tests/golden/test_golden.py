@@ -1,0 +1,130 @@
+"""Golden-trace regression suite.
+
+Pins exact numeric outputs of the performance model — Table I params/
+latencies, Table II speedups, Figure 6 breakdown shares, dist1 scaling
+efficiencies — against committed JSON files.  The experiment claim
+checks tolerate recalibration by design; this suite exists so that a
+kernel-cost change which silently shifts the paper numbers fails
+tier-1 instead of drifting unnoticed.
+
+Refresh after an intentional model change with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+and commit the diff — the diff *is* the review artifact for the
+number shift.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import (
+    GOLDEN_SUMMARIES,
+    compare_summaries,
+    dist1_summary,
+)
+from repro.kernels.base import DEFAULT_TUNING
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SUMMARIES))
+def test_summary_matches_golden(name, update_golden):
+    actual = GOLDEN_SUMMARIES[name]()
+    path = golden_path(name)
+    if update_golden:
+        path.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+        return
+    assert path.exists(), (
+        f"{path} missing; generate it with --update-golden"
+    )
+    expected = json.loads(path.read_text())
+    mismatches = compare_summaries(expected, actual)
+    assert not mismatches, (
+        f"{name} drifted from golden ({len(mismatches)} values):\n  "
+        + "\n  ".join(mismatches[:20])
+        + "\nIf intentional, refresh with --update-golden and commit."
+    )
+
+
+class TestComparison:
+    def test_identical_trees_match(self):
+        tree = {"a": {"b": 1.0, "c": 2.0}}
+        assert compare_summaries(tree, tree) == []
+
+    def test_value_drift_detected(self):
+        expected = {"a": {"b": 1.0}}
+        actual = {"a": {"b": 1.0 + 1e-6}}
+        mismatches = compare_summaries(expected, actual)
+        assert len(mismatches) == 1 and "a.b" in mismatches[0]
+
+    def test_tolerance_respected(self):
+        expected = {"a": 1.0}
+        actual = {"a": 1.0 + 1e-12}
+        assert compare_summaries(expected, actual) == []
+
+    def test_missing_and_extra_keys_detected(self):
+        mismatches = compare_summaries({"a": 1.0}, {"b": 1.0})
+        assert len(mismatches) == 2
+
+    def test_non_numeric_leaves_compared_exactly(self):
+        assert compare_summaries({"a": "x"}, {"a": "y"})
+
+
+class TestPerturbationIsDetected:
+    """The acceptance demonstration: nudge one kernel-cost constant
+    and the golden comparison must fail (and the numbers must actually
+    move — the suite is sensitive, not vacuously green)."""
+
+    def test_gemm_utilization_perturbation_fails_golden(self):
+        path = golden_path("dist1")
+        if not path.exists():
+            pytest.skip("golden files not generated yet")
+        expected = json.loads(path.read_text())
+        perturbed = dataclasses.replace(
+            DEFAULT_TUNING,
+            gemm_base_utilization=(
+                DEFAULT_TUNING.gemm_base_utilization * 1.02
+            ),
+        )
+        # One model/machine/world-pair is enough to demonstrate the
+        # sensitivity without re-profiling the full dist1 sweep.
+        actual = dist1_summary(
+            perturbed,
+            models=("stable_diffusion",),
+            machines=("dgx-a100-80g",),
+            worlds=(1, 2),
+        )
+        key = "stable_diffusion|dgx-a100-80g"
+        mismatches = compare_summaries(
+            {key: expected[key]["1"]}, {key: actual[key]["1"]}
+        )
+        assert mismatches, (
+            "a 2% GEMM-utilization change did not move dist1 latency; "
+            "the golden suite has lost its sensitivity"
+        )
+
+    def test_unperturbed_subset_still_matches(self):
+        path = golden_path("dist1")
+        if not path.exists():
+            pytest.skip("golden files not generated yet")
+        expected = json.loads(path.read_text())
+        actual = dist1_summary(
+            models=("stable_diffusion",),
+            machines=("dgx-a100-80g",),
+            worlds=(1, 2),
+        )
+        key = "stable_diffusion|dgx-a100-80g"
+        for world in ("1", "2"):
+            assert compare_summaries(
+                {key: expected[key][world]}, {key: actual[key][world]}
+            ) == []

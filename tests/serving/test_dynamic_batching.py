@@ -118,8 +118,13 @@ class TestBatchingServer:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            simulate_batching_server([], CURVE)
-        with pytest.raises(ValueError):
             simulate_batching_server(burst(2, 1.0), CURVE, max_batch=0)
-        with pytest.raises(ValueError):
-            mean_batch_size([])
+
+    def test_empty_request_list_is_idle_not_an_error(self):
+        # Regression: an idle pool (no arrivals in the window) used to
+        # raise; capacity sweeps over arrival rates hit rate=0 cleanly.
+        report, batches = simulate_batching_server([], CURVE)
+        assert report.completed == ()
+        assert report.makespan_s == 0.0
+        assert batches == []
+        assert mean_batch_size([]) == 0.0

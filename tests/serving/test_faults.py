@@ -1,0 +1,133 @@
+"""Fault-model tests: event validation and schedule generation."""
+
+import pytest
+
+from repro.serving.faults import (
+    FAULT_FREE,
+    NO_RETRIES,
+    Crash,
+    FaultSchedule,
+    RetryPolicy,
+    Straggler,
+    generate_faults,
+)
+
+
+class TestEvents:
+    def test_crash_recover_time(self):
+        crash = Crash(server=0, at_s=10.0, downtime_s=5.0)
+        assert crash.recover_s == pytest.approx(15.0)
+
+    def test_crash_validation(self):
+        with pytest.raises(ValueError):
+            Crash(server=0, at_s=-1.0, downtime_s=5.0)
+        with pytest.raises(ValueError):
+            Crash(server=0, at_s=1.0, downtime_s=0.0)
+
+    def test_straggler_window(self):
+        event = Straggler(
+            server=1, at_s=3.0, duration_s=4.0, slowdown=2.0
+        )
+        assert event.until_s == pytest.approx(7.0)
+
+    def test_straggler_validation(self):
+        with pytest.raises(ValueError):
+            Straggler(server=0, at_s=0.0, duration_s=1.0, slowdown=1.0)
+        with pytest.raises(ValueError):
+            Straggler(server=0, at_s=0.0, duration_s=0.0, slowdown=2.0)
+
+
+class TestRetryPolicy:
+    def test_max_attempts(self):
+        assert RetryPolicy(max_retries=2).max_attempts == 3
+        assert NO_RETRIES.max_attempts == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+
+
+class TestSchedule:
+    def test_fault_free_is_empty(self):
+        assert FAULT_FREE.is_empty
+        assert not FaultSchedule(
+            crashes=(Crash(server=0, at_s=1.0, downtime_s=1.0),)
+        ).is_empty
+
+    def test_events_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                crashes=(
+                    Crash(server=0, at_s=5.0, downtime_s=1.0),
+                    Crash(server=1, at_s=1.0, downtime_s=1.0),
+                )
+            )
+
+    def test_for_server_filters(self):
+        schedule = FaultSchedule(
+            crashes=(
+                Crash(server=0, at_s=1.0, downtime_s=1.0),
+                Crash(server=1, at_s=2.0, downtime_s=1.0),
+            ),
+            stragglers=(
+                Straggler(
+                    server=1, at_s=0.5, duration_s=1.0, slowdown=2.0
+                ),
+            ),
+        )
+        sub = schedule.for_server(1)
+        assert len(sub.crashes) == 1 and sub.crashes[0].server == 1
+        assert len(sub.stragglers) == 1
+
+
+class TestGeneration:
+    def test_zero_rates_give_empty_schedule(self):
+        schedule = generate_faults(servers=4, duration_s=100.0, seed=0)
+        assert schedule.is_empty
+
+    def test_rates_scale_event_counts(self):
+        sparse = generate_faults(
+            servers=8, duration_s=3600.0, seed=1,
+            crash_rate_per_hour=0.5,
+        )
+        dense = generate_faults(
+            servers=8, duration_s=3600.0, seed=1,
+            crash_rate_per_hour=8.0,
+        )
+        assert len(dense.crashes) > len(sparse.crashes)
+
+    def test_events_within_horizon_and_ordered(self):
+        schedule = generate_faults(
+            servers=4, duration_s=500.0, seed=2,
+            crash_rate_per_hour=30.0, straggler_rate_per_hour=30.0,
+        )
+        assert all(0 <= c.at_s < 500.0 for c in schedule.crashes)
+        assert all(0 <= s.at_s < 500.0 for s in schedule.stragglers)
+        crash_times = [c.at_s for c in schedule.crashes]
+        assert crash_times == sorted(crash_times)
+
+    def test_adding_stragglers_keeps_crash_times(self):
+        # The documented draw-order contract: the straggler process is
+        # drawn after the crash process per server, so enabling it must
+        # not perturb crash times.
+        crashes_only = generate_faults(
+            servers=4, duration_s=1000.0, seed=3,
+            crash_rate_per_hour=10.0,
+        )
+        both = generate_faults(
+            servers=4, duration_s=1000.0, seed=3,
+            crash_rate_per_hour=10.0, straggler_rate_per_hour=10.0,
+        )
+        assert crashes_only.crashes == both.crashes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_faults(servers=0, duration_s=10.0)
+        with pytest.raises(ValueError):
+            generate_faults(
+                servers=1, duration_s=10.0, crash_rate_per_hour=-1.0
+            )
+        with pytest.raises(ValueError):
+            generate_faults(servers=1, duration_s=10.0, slowdown=1.0)

@@ -1,0 +1,162 @@
+"""Scheduling-policy tests, standalone and through the fleet."""
+
+import pytest
+
+from repro.serving.fleet import (
+    PoolSpec,
+    affine_batch_latency,
+    simulate_fleet,
+)
+from repro.serving.policies import (
+    FifoPolicy,
+    ModelAffinityPolicy,
+    ShortestJobFirst,
+    policy_from_name,
+)
+from repro.serving.workload import Request
+
+
+class _Entry:
+    def __init__(self, request, queued_since_s=0.0):
+        self.request = request
+        self.queued_since_s = queued_since_s
+
+
+def entry(model, service, rid=0, since=0.0):
+    return _Entry(
+        Request(
+            request_id=rid, arrival_s=since, model=model,
+            service_s=service,
+        ),
+        queued_since_s=since,
+    )
+
+
+QUEUE = [
+    entry("video", 4.0, rid=0, since=0.0),
+    entry("image", 1.0, rid=1, since=0.5),
+    entry("video", 4.0, rid=2, since=1.0),
+    entry("image", 1.0, rid=3, since=1.5),
+]
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(policy_from_name("fifo"), FifoPolicy)
+        assert isinstance(policy_from_name("sjf"), ShortestJobFirst)
+        assert isinstance(
+            policy_from_name("affinity"), ModelAffinityPolicy
+        )
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            policy_from_name("priority")
+
+
+class TestFifo:
+    def test_head_of_line_model_wins(self):
+        picked = FifoPolicy().select(
+            QUEUE, now=2.0, max_batch=8, last_model=None
+        )
+        assert picked == [0, 2]  # both video entries, queue order
+
+    def test_cap_respected(self):
+        picked = FifoPolicy().select(
+            QUEUE, now=2.0, max_batch=1, last_model=None
+        )
+        assert picked == [0]
+
+
+class TestSjf:
+    def test_cheapest_model_wins(self):
+        picked = ShortestJobFirst().select(
+            QUEUE, now=2.0, max_batch=8, last_model=None
+        )
+        assert picked == [1, 3]  # the image entries
+
+    def test_tie_broken_by_queue_age(self):
+        queue = [
+            entry("a", 1.0, rid=0, since=5.0),
+            entry("b", 1.0, rid=1, since=1.0),
+        ]
+        picked = ShortestJobFirst().select(
+            queue, now=6.0, max_batch=1, last_model=None
+        )
+        assert picked == [1]
+
+
+class TestAffinity:
+    def test_sticks_to_resident_model(self):
+        picked = ModelAffinityPolicy().select(
+            QUEUE, now=2.0, max_batch=8, last_model="image"
+        )
+        assert picked == [1, 3]
+
+    def test_falls_back_to_fifo_when_drained(self):
+        picked = ModelAffinityPolicy().select(
+            QUEUE, now=2.0, max_batch=8, last_model="absent-model"
+        )
+        assert picked == [0, 2]
+
+    def test_cold_server_behaves_fifo(self):
+        picked = ModelAffinityPolicy().select(
+            QUEUE, now=2.0, max_batch=8, last_model=None
+        )
+        assert picked == [0, 2]
+
+
+def two_model_burst(count=40):
+    requests = []
+    for index in range(count):
+        model = "image" if index % 2 else "video"
+        service = 1.0 if model == "image" else 4.0
+        requests.append(
+            Request(
+                request_id=index, arrival_s=index * 0.05, model=model,
+                service_s=service,
+            )
+        )
+    return requests
+
+
+def spec_with(policy, swap_cost_s=0.0):
+    return PoolSpec(
+        name="p", machine="dgx-a100-80g", servers=1,
+        latency_fns={
+            "image": affine_batch_latency(1.0),
+            "video": affine_batch_latency(4.0),
+        },
+        max_batch=4,
+        policy=policy,
+        swap_cost_s=swap_cost_s,
+    )
+
+
+class TestPoliciesThroughFleet:
+    def test_sjf_cuts_image_latency(self):
+        requests = two_model_burst()
+        fifo = simulate_fleet(requests, [spec_with(FifoPolicy())])
+        sjf = simulate_fleet(requests, [spec_with(ShortestJobFirst())])
+
+        def image_mean(report):
+            image = [
+                record.latency_s for record in report.completed
+                if record.request.model == "image"
+            ]
+            return sum(image) / len(image)
+
+        assert image_mean(sjf) < image_mean(fifo)
+        assert len(sjf.completed) == len(fifo.completed) == 40
+
+    def test_affinity_swaps_less_than_fifo(self):
+        requests = two_model_burst()
+        swap = 0.5
+        fifo = simulate_fleet(
+            requests, [spec_with(FifoPolicy(), swap_cost_s=swap)]
+        )
+        affinity = simulate_fleet(
+            requests,
+            [spec_with(ModelAffinityPolicy(), swap_cost_s=swap)],
+        )
+        assert affinity.pools[0].swaps < fifo.pools[0].swaps
+        assert len(affinity.completed) == 40

@@ -1,0 +1,210 @@
+"""Property tests for the serving simulators.
+
+Each invariant here holds by construction in a correct discrete-event
+simulator; hypothesis searches adversarial arrival patterns so that
+scheduler refactors which break conservation, causality, or ordering
+fail loudly instead of skewing downstream SLO numbers quietly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.batching import (
+    interpolated_batch_latency,
+    simulate_batching_server,
+)
+from repro.serving.faults import Crash, FaultSchedule, RetryPolicy
+from repro.serving.fleet import (
+    PoolSpec,
+    affine_batch_latency,
+    simulate_fleet,
+)
+from repro.serving.queueing import simulate_queue
+from repro.serving.workload import Request
+
+
+def build_requests(profile):
+    """Turn (inter_arrival, service) draws into a request stream."""
+    requests = []
+    clock = 0.0
+    for index, (gap, service) in enumerate(profile):
+        clock += gap
+        requests.append(
+            Request(
+                request_id=index,
+                arrival_s=clock,
+                model="sd",
+                service_s=service,
+            )
+        )
+    return requests
+
+
+request_profiles = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=0.05, max_value=4.0),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def fleet_pool(servers, max_batch=3):
+    return PoolSpec(
+        name="p0",
+        machine="dgx-a100-80g",
+        servers=servers,
+        latency_fns={"sd": affine_batch_latency(1.0)},
+        max_batch=max_batch,
+    )
+
+
+class TestQueueProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(profile=request_profiles, servers=st.integers(1, 5))
+    def test_every_arrival_completes_exactly_once(
+        self, profile, servers
+    ):
+        requests = build_requests(profile)
+        report = simulate_queue(requests, servers=servers)
+        completed_ids = sorted(
+            record.request.request_id for record in report.completed
+        )
+        assert completed_ids == [r.request_id for r in requests]
+
+    @settings(max_examples=50, deadline=None)
+    @given(profile=request_profiles, servers=st.integers(1, 5))
+    def test_latency_at_least_service(self, profile, servers):
+        report = simulate_queue(build_requests(profile), servers=servers)
+        for record in report.completed:
+            assert record.latency_s >= record.request.service_s - 1e-9
+            assert record.queueing_s >= -1e-9
+            assert record.start_s >= record.request.arrival_s - 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(profile=request_profiles, servers=st.integers(1, 5))
+    def test_fifo_order_per_server(self, profile, servers):
+        report = simulate_queue(build_requests(profile), servers=servers)
+        by_server = {}
+        for record in report.completed:
+            by_server.setdefault(record.server, []).append(record)
+        for records in by_server.values():
+            records.sort(key=lambda record: record.start_s)
+            arrivals = [r.request.arrival_s for r in records]
+            assert arrivals == sorted(arrivals)
+
+    @settings(max_examples=50, deadline=None)
+    @given(profile=request_profiles)
+    def test_makespan_monotone_in_server_count(self, profile):
+        requests = build_requests(profile)
+        makespans = [
+            simulate_queue(requests, servers=servers).makespan_s
+            for servers in (1, 2, 4, 8)
+        ]
+        for fewer, more in zip(makespans, makespans[1:]):
+            assert more <= fewer + 1e-9
+
+
+class TestBatchingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(profile=request_profiles, max_batch=st.integers(1, 6))
+    def test_batches_respect_cap_and_conserve_requests(
+        self, profile, max_batch
+    ):
+        requests = build_requests(profile)
+        curve = interpolated_batch_latency({1: 1.0, 8: 3.0})
+        report, batches = simulate_batching_server(
+            requests, curve, max_batch=max_batch
+        )
+        assert all(1 <= batch.size <= max_batch for batch in batches)
+        assert sum(batch.size for batch in batches) == len(requests)
+        completed_ids = sorted(
+            record.request.request_id for record in report.completed
+        )
+        assert completed_ids == [r.request_id for r in requests]
+
+
+class TestFleetProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        profile=request_profiles,
+        servers=st.integers(1, 4),
+        max_batch=st.integers(1, 4),
+    )
+    def test_conservation_and_causality(
+        self, profile, servers, max_batch
+    ):
+        requests = build_requests(profile)
+        report = simulate_fleet(
+            requests, [fleet_pool(servers, max_batch=max_batch)]
+        )
+        assert not report.failed
+        completed_ids = sorted(
+            record.request.request_id for record in report.completed
+        )
+        assert completed_ids == [r.request_id for r in requests]
+        for record in report.completed:
+            assert record.latency_s >= record.service_s - 1e-9
+            assert record.queueing_s >= -1e-9
+            assert record.start_s >= record.request.arrival_s - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        profile=request_profiles,
+        servers=st.integers(1, 4),
+        max_batch=st.integers(1, 4),
+    )
+    def test_batch_sizes_never_exceed_cap(
+        self, profile, servers, max_batch
+    ):
+        requests = build_requests(profile)
+        report = simulate_fleet(
+            requests, [fleet_pool(servers, max_batch=max_batch)]
+        )
+        groups = {}
+        for record in report.completed:
+            key = (record.server, record.start_s)
+            groups[key] = groups.get(key, 0) + 1
+        assert all(size <= max_batch for size in groups.values())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        profile=request_profiles,
+        crash_at=st.floats(min_value=0.1, max_value=20.0),
+        downtime=st.floats(min_value=1.0, max_value=30.0),
+        max_retries=st.integers(0, 2),
+    )
+    def test_conservation_under_faults(
+        self, profile, crash_at, downtime, max_retries
+    ):
+        # With crashes and retries in play every offered request must
+        # still be accounted for exactly once, as completed OR failed.
+        requests = build_requests(profile)
+        faults = FaultSchedule(
+            crashes=(
+                Crash(server=0, at_s=crash_at, downtime_s=downtime),
+            )
+        )
+        report = simulate_fleet(
+            requests,
+            [fleet_pool(servers=2, max_batch=2)],
+            retry=RetryPolicy(
+                max_retries=max_retries, backoff_s=0.5, timeout_s=60.0
+            ),
+            faults=faults,
+        )
+        seen = sorted(
+            [r.request.request_id for r in report.completed]
+            + [r.request.request_id for r in report.failed]
+        )
+        assert seen == [r.request_id for r in requests]
+        assert report.offered == len(requests)
+        for record in report.completed:
+            assert record.attempts >= 1
+            assert record.latency_s >= record.service_s - 1e-9
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,134 @@
+"""SLO accounting tests: percentiles, goodput, decomposition."""
+
+import pytest
+
+from repro.serving.fleet import (
+    PoolSpec,
+    affine_batch_latency,
+    simulate_fleet,
+)
+from repro.serving.slo import percentile, slo_report
+from repro.serving.workload import Request
+
+
+def burst(count, spacing, service=1.0, model="sd"):
+    return [
+        Request(
+            request_id=index, arrival_s=index * spacing, model=model,
+            service_s=service,
+        )
+        for index in range(count)
+    ]
+
+
+def pool(servers=2, models=("sd",), service=1.0, **kwargs):
+    return PoolSpec(
+        name="p", machine="dgx-a100-80g", servers=servers,
+        latency_fns={
+            model: affine_batch_latency(service) for model in models
+        },
+        **kwargs,
+    )
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50.0) == 50.0
+        assert percentile(values, 95.0) == 95.0
+        assert percentile(values, 100.0) == 100.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 95.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestSloReport:
+    def test_underloaded_all_good(self):
+        report = simulate_fleet(burst(10, 5.0), [pool()])
+        slo = slo_report(report, 2.0)
+        assert slo.goodput == pytest.approx(1.0)
+        assert slo.violation_s == 0.0
+        assert slo.availability == pytest.approx(1.0)
+        model = slo.model("sd")
+        assert model.p50_s == pytest.approx(1.0)
+        assert model.mean_service_s == pytest.approx(1.0)
+        assert model.mean_queueing_s == pytest.approx(0.0)
+
+    def test_queueing_service_decomposition_sums(self):
+        report = simulate_fleet(
+            burst(30, 0.3), [pool(servers=1, max_batch=1)]
+        )
+        slo = slo_report(report, 100.0)
+        model = slo.model("sd")
+        mean_latency = sum(
+            record.latency_s for record in report.completed
+        ) / len(report.completed)
+        assert model.mean_queueing_s + model.mean_service_s == (
+            pytest.approx(mean_latency)
+        )
+        assert model.mean_queueing_s > 0.0
+
+    def test_tight_deadline_counts_violations(self):
+        report = simulate_fleet(
+            burst(30, 0.3), [pool(servers=1, max_batch=1)]
+        )
+        generous = slo_report(report, 1000.0)
+        tight = slo_report(report, 1.5)
+        assert generous.goodput == pytest.approx(1.0)
+        assert tight.goodput < 1.0
+        assert tight.violation_s > 0.0
+        # Violation seconds are the summed excess beyond the deadline.
+        excess = sum(
+            max(0.0, record.latency_s - 1.5)
+            for record in report.completed
+        )
+        assert tight.violation_s == pytest.approx(excess)
+
+    def test_per_model_deadlines(self):
+        requests = burst(5, 5.0, model="image") + [
+            Request(
+                request_id=10 + index, arrival_s=index * 5.0,
+                model="video", service_s=4.0,
+            )
+            for index in range(5)
+        ]
+        report = simulate_fleet(
+            requests,
+            [pool(models=("image", "video"))],
+        )
+        slo = slo_report(report, {"image": 2.0, "video": 6.0})
+        assert slo.model("image").deadline_s == 2.0
+        assert slo.model("video").deadline_s == 6.0
+        assert slo.goodput == pytest.approx(1.0)
+
+    def test_missing_deadline_rejected(self):
+        report = simulate_fleet(burst(3, 5.0), [pool()])
+        with pytest.raises(ValueError):
+            slo_report(report, {"other-model": 1.0})
+        with pytest.raises(ValueError):
+            slo_report(report, 0.0)
+
+    def test_unknown_model_lookup(self):
+        report = simulate_fleet(burst(3, 5.0), [pool()])
+        slo = slo_report(report, 10.0)
+        with pytest.raises(ValueError):
+            slo.model("nope")
+
+    def test_render_contains_key_columns(self):
+        report = simulate_fleet(burst(10, 1.0), [pool()])
+        text = slo_report(report, 3.0).render()
+        for token in ("p95", "goodput", "availability", "sd"):
+            assert token in text
+
+    def test_empty_report(self):
+        report = simulate_fleet([], [pool()])
+        slo = slo_report(report, 1.0)
+        assert slo.per_model == ()
+        assert slo.goodput == 0.0
+        assert slo.availability == pytest.approx(1.0)
