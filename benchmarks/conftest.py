@@ -4,29 +4,21 @@ The suite profiles are computed once up front so per-figure benchmarks
 measure the analysis being benchmarked, not the shared profiling cost.
 Each figure benchmark prints its rendered table — the harness output is
 the rows/series the paper reports.
+
+The warming logic and the experiment assertion live in
+:mod:`repro.testing`, shared with ``tests/conftest.py`` so the two
+harnesses cannot drift.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.experiments.suite_cache import all_profiles
+from repro.testing import run_and_render, suite_profile_map
+
+__all__ = ["run_and_render"]
 
 
 @pytest.fixture(scope="session", autouse=True)
 def warm_suite_cache():
-    all_profiles()
-
-
-def run_and_render(benchmark, experiment_run):
-    """Benchmark an experiment and print its report."""
-    result = benchmark.pedantic(experiment_run, rounds=1, iterations=1)
-    print()
-    print(result.render())
-    assert result.all_claims_hold, (
-        f"{result.experiment_id}: "
-        + "; ".join(
-            claim.claim for claim in result.claims if not claim.holds
-        )
-    )
-    return result
+    suite_profile_map()

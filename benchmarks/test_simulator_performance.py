@@ -3,7 +3,19 @@
 These measure the *framework's* throughput (cost evaluations per
 second, trace generation speed, cache-simulation speed) — the numbers a
 downstream user cares about when sweeping large design spaces.
+
+The medians recorded here gate CI: ``tools/check_bench_regression.py``
+compares a fresh ``--benchmark-json`` run against the committed
+``benchmarks/BENCH_baseline.json`` and fails on a >30% slowdown,
+normalized by :func:`test_calibration_reference` so the comparison
+survives a change of runner hardware.  Refresh the baseline after an
+intentional performance change with::
+
+    python -m pytest benchmarks -q --benchmark-json=/tmp/bench.json
+    python tools/check_bench_regression.py /tmp/bench.json --update
 """
+
+import pytest
 
 from repro.hw.spec import A100_80GB
 from repro.ir.context import ExecutionContext
@@ -11,7 +23,25 @@ from repro.ir.ops import Gemm
 from repro.ir.tensor import TensorSpec
 from repro.kernels.estimator import CostEstimator
 from repro.layers.unet import UNet
+from repro.models.registry import suite_names
 from repro.models.stable_diffusion import StableDiffusionConfig
+
+
+def test_calibration_reference(benchmark):
+    """Fixed pure-Python workload: the regression checker's yardstick.
+
+    Its median moves with interpreter/hardware speed but never with the
+    simulator, so dividing every benchmark's ratio by this one's ratio
+    cancels machine differences out of the CI gate.
+    """
+
+    def spin():
+        total = 0
+        for value in range(2_000_000):
+            total += value * value
+        return total
+
+    assert benchmark(spin) > 0
 
 
 def test_gemm_cost_evaluation_throughput(benchmark):
@@ -69,3 +99,88 @@ def test_full_sd_profile(benchmark):
         profile_model, args=(model,), rounds=1, iterations=1
     )
     assert result.total_time_s > 0
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_profile_model_card(benchmark, name):
+    """profile() cost per suite model, fresh instance every round.
+
+    A fresh model defeats the per-model profile memo, so this measures
+    the real trace-construction path (module walk, replay segments,
+    kernel-cost lookups), the dominant cost of every sweep's first
+    visit to a configuration.
+    """
+    from repro.models.registry import build_model
+    from repro.profiler.profiler import profile_model
+
+    def cold_profile():
+        return profile_model(build_model(name)).total_time_s
+
+    assert benchmark.pedantic(cold_profile, rounds=2, iterations=1) > 0
+
+
+def test_strong_scaling_sweep(benchmark):
+    """The dist1 hot loop: partition + price SD across 1/2/4/8 GPUs."""
+    from repro.distributed.scaling import strong_scaling
+    from repro.experiments.suite_cache import model_instance
+
+    model = model_instance("stable_diffusion")
+    strong_scaling(model, "dgx-a100-80g", (1, 2))  # warm the profile
+
+    points = benchmark.pedantic(
+        strong_scaling,
+        args=(model, "dgx-a100-80g", (1, 2, 4, 8)),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(points) == 4 and points[0].world == 1
+
+
+def test_fleet_10k_requests(benchmark):
+    """Discrete-event fleet throughput on a >=10k-request day.
+
+    Fixed service times (no profiling in the loop) so the benchmark
+    isolates the simulator: queueing, batching, retries and the event
+    heap.
+    """
+    from repro.serving.faults import RetryPolicy
+    from repro.serving.fleet import (
+        PoolSpec,
+        affine_batch_latency,
+        simulate_fleet,
+    )
+    from repro.serving.workload import WorkloadMix, generate_requests
+
+    mix = WorkloadMix(
+        shares={"sd": 0.7, "muse": 0.3},
+        service_s={"sd": 2.0, "muse": 0.5},
+    )
+    requests = generate_requests(
+        mix, arrival_rate=20.0, duration_s=600.0, seed=7
+    )
+    assert len(requests) >= 10_000
+    pools = [
+        PoolSpec(
+            name="a100",
+            machine="dgx-a100-80g",
+            servers=32,
+            latency_fns={
+                model: affine_batch_latency(
+                    time, marginal_fraction=0.7
+                )
+                for model, time in mix.service_s.items()
+            },
+            max_batch=8,
+        )
+    ]
+    retry = RetryPolicy(max_retries=2, backoff_s=1.0, timeout_s=None)
+
+    report = benchmark.pedantic(
+        simulate_fleet,
+        args=(requests, pools),
+        kwargs={"retry": retry},
+        rounds=2,
+        iterations=1,
+    )
+    assert report.offered >= 10_000
+    assert report.completion_rate > 0.99

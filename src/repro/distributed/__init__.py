@@ -52,6 +52,7 @@ from repro.distributed.partition import (
     TensorParallel,
     event_repeat,
     strategy_from_name,
+    trace_repeats,
 )
 from repro.distributed.registry import (
     DGX_A100_40G,
@@ -123,6 +124,7 @@ __all__ = [
     "build_timelines",
     "even_split",
     "event_repeat",
+    "trace_repeats",
     "machine_from_name",
     "machine_names",
     "proportional_split",

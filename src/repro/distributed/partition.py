@@ -33,7 +33,9 @@ against the unsharded trace.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.distributed.collectives import CollectiveKind
 from repro.distributed.sharding import ShardRole, even_split, shard_op
@@ -57,6 +59,24 @@ def event_repeat(event: TraceEvent) -> int:
     return 1
 
 
+# Fold factors per trace, computed once: scaling sweeps partition the
+# same profiled trace for every world size, and the per-event FLOP
+# formulas behind event_repeat dominate partitioning time if re-derived
+# each time.  Keyed weakly so the factors die with the trace.
+_REPEAT_CACHE: "weakref.WeakKeyDictionary[Trace, list[int]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def trace_repeats(trace: Trace) -> list[int]:
+    """Fold factor of every event of ``trace``, cached per trace object."""
+    repeats = _REPEAT_CACHE.get(trace)
+    if repeats is None or len(repeats) != len(trace.events):
+        repeats = [event_repeat(event) for event in trace.events]
+        _REPEAT_CACHE[trace] = repeats
+    return repeats
+
+
 @dataclass(frozen=True)
 class CommSpec:
     """One collective the sharded graph requires after an event.
@@ -72,9 +92,12 @@ class CommSpec:
     label: str
 
 
-@dataclass(frozen=True)
-class ShardedEvent:
+class ShardedEvent(NamedTuple):
     """One source trace event split across the parallel group.
+
+    A NamedTuple rather than a dataclass: plans hold one of these per
+    source event (hundreds of thousands per scaling sweep) and tuple
+    construction is several times cheaper.
 
     Attributes:
         source: the single-device event this shards.
@@ -170,30 +193,79 @@ class TensorParallel(PartitionStrategy):
     def partition(self, trace: Trace) -> DistributedPlan:
         """Shard every event; emit the implied all-reduce/all-gathers."""
         weights = [1] * self.world
-        leaf_roles = self._assign_leaf_roles(trace)
+        leaf_roles = self._leaf_roles(trace)
+        repeats = trace_repeats(trace)
+        world_gt1 = self.world > 1
         sharded: list[ShardedEvent] = []
-        shard_cache: dict[tuple[Op, ShardRole], tuple[Op | None, ...]] = {}
-        for event in trace:
-            op = event.op
-            role, comm_kind = self._event_role(event, leaf_roles)
-            key = (op, role)
-            if key not in shard_cache:
-                shard_cache[key] = tuple(shard_op(op, role, weights))
+        append = sharded.append
+        # Ops are interned by the replay memoizer, so identity keys are
+        # both valid (frozen dataclasses) and much cheaper than hashing
+        # the nested shape tuples; the trace keeps every op alive.
+        shard_cache: dict[tuple[int, ShardRole], tuple[Op | None, ...]] = {}
+        has_params: dict[int, bool] = {}
+        # Activation ops shard the same way wherever they appear, so one
+        # resolution per op object covers the whole trace.  Weight ops
+        # need the emitting path (roles are assigned per module leaf),
+        # so they memoize per (op, path) instead.
+        nonparam_memo: dict[
+            int, tuple[ShardRole, tuple[Op | None, ...], CommSpec | None]
+        ] = {}
+        # Keyed ``id(op) * 32 + role_token``: a single int hash per
+        # event instead of a tuple of enums (enum.__hash__ is a Python
+        # function and dominates the loop at trace scale).
+        param_memo: dict[
+            int, tuple[ShardRole, tuple[Op | None, ...], CommSpec | None]
+        ] = {}
+
+        def resolve(op: Op, role: ShardRole, comm_kind) -> tuple:
+            key = (id(op), role)
+            shards = shard_cache.get(key)
+            if shards is None:
+                shards = tuple(shard_op(op, role, weights))
+                shard_cache[key] = shards
             comm = None
-            if comm_kind is not None and self.world > 1:
-                short = "ar" if comm_kind is CollectiveKind.ALL_REDUCE else "ag"
+            if comm_kind is not None and world_gt1:
+                short = (
+                    "ar" if comm_kind is CollectiveKind.ALL_REDUCE else "ag"
+                )
                 comm = CommSpec(
                     kind=comm_kind,
                     payload_bytes=_output_bytes(op),
                     label=f"{short}:{op.name}",
                 )
-            sharded.append(
-                ShardedEvent(
-                    source=event,
-                    role=role,
-                    ops=shard_cache[key],
-                    comm=comm,
-                    repeat=event_repeat(event),
+            return (role, shards, comm)
+
+        # tuple.__new__ bypasses the generated NamedTuple constructor
+        # (a Python-level wrapper) — at trace scale the constructor is
+        # the single largest cost of partitioning.
+        tuple_new = tuple.__new__
+        event_cls = ShardedEvent
+        for event, repeat in zip(trace.events, repeats):
+            op = event.op
+            op_id = id(op)
+            owns = has_params.get(op_id)
+            if owns is None:
+                owns = op.param_bytes() > 0
+                has_params[op_id] = owns
+            if owns:
+                role, comm_kind, token = leaf_roles[event.module_path]
+                memo_key = op_id * 32 + token
+                resolved = param_memo.get(memo_key)
+                if resolved is None:
+                    resolved = resolve(op, role, comm_kind)
+                    param_memo[memo_key] = resolved
+            else:
+                resolved = nonparam_memo.get(op_id)
+                if resolved is None:
+                    if op.category is OpCategory.ATTENTION:
+                        resolved = resolve(op, ShardRole.HEAD, None)
+                    else:
+                        resolved = resolve(op, ShardRole.SEQUENCE, None)
+                    nonparam_memo[op_id] = resolved
+            role, shards, comm = resolved
+            append(
+                tuple_new(
+                    event_cls, (event, role, shards, comm, repeat, 0)
                 )
             )
         return DistributedPlan(
@@ -204,17 +276,46 @@ class TensorParallel(PartitionStrategy):
             source=trace,
         )
 
-    @staticmethod
-    def _event_role(
-        event: TraceEvent,
-        leaf_roles: dict[str, tuple[ShardRole, CollectiveKind | None]],
-    ) -> tuple[ShardRole, CollectiveKind | None]:
-        op = event.op
-        if op.param_bytes() > 0:
-            return leaf_roles[event.module_path]
-        if op.category is OpCategory.ATTENTION:
-            return ShardRole.HEAD, None
-        return ShardRole.SEQUENCE, None
+    # Leaf-role maps per trace: scaling sweeps re-partition one trace
+    # for every world size, and the assignment is world-independent.
+    _LEAF_ROLES: "weakref.WeakKeyDictionary[Trace, tuple[int, dict]]" = (
+        weakref.WeakKeyDictionary()
+    )
+
+    # Interned (role, collective) combinations.  The partition loop keys
+    # its memo on ``id(op) * 32 + token`` — valid while the number of
+    # combinations stays below 32 (it is bounded by
+    # ``len(ShardRole) * (len(CollectiveKind) + 1)``).
+    _ROLE_TOKENS: dict[
+        tuple[ShardRole, CollectiveKind | None], int
+    ] = {}
+
+    def _leaf_roles(
+        self, trace: Trace
+    ) -> dict[str, tuple[ShardRole, CollectiveKind | None, int]]:
+        """Cached :meth:`_assign_leaf_roles` with interned role tokens.
+
+        Values are ``(role, collective, token)``; the token stands in
+        for the (role, collective) pair in hot memo keys.  Keyed weakly
+        per trace.
+        """
+        entry = self._LEAF_ROLES.get(trace)
+        if entry is not None and entry[0] == len(trace.events):
+            return entry[1]
+        tokens = self._ROLE_TOKENS
+        roles = {}
+        for path, pair in self._assign_leaf_roles(trace).items():
+            token = tokens.get(pair)
+            if token is None:
+                token = len(tokens)
+                if token >= 32:
+                    raise AssertionError(
+                        "role-token space exhausted; widen the memo key"
+                    )
+                tokens[pair] = token
+            roles[path] = (pair[0], pair[1], token)
+        self._LEAF_ROLES[trace] = (len(trace.events), roles)
+        return roles
 
     def _assign_leaf_roles(
         self, trace: Trace
@@ -230,11 +331,17 @@ class TensorParallel(PartitionStrategy):
         anchor_seen: dict[str, bool] = {}
         next_is_column: dict[str, bool] = {}
         pending_column: dict[str, str] = {}
+        param_memo: dict[int, bool] = {}
         for event in trace:
             op = event.op
             if event.is_attention_anchor:
                 anchor_seen[event.module_path] = True
-            if op.param_bytes() <= 0:
+            op_id = id(op)
+            owns = param_memo.get(op_id)
+            if owns is None:
+                owns = op.param_bytes() > 0
+                param_memo[op_id] = owns
+            if not owns:
                 continue
             leaf = event.module_path
             scope = _parent_scope(leaf)
@@ -284,21 +391,22 @@ class DataParallel(PartitionStrategy):
     def partition(self, trace: Trace) -> DistributedPlan:
         """Slice every event's batch-linear dimension by rank share."""
         weights = even_split(self.batch, self.world)
+        repeats = trace_repeats(trace)
         sharded: list[ShardedEvent] = []
-        shard_cache: dict[Op, tuple[Op | None, ...]] = {}
-        for event in trace:
+        shard_cache: dict[int, tuple[Op | None, ...]] = {}
+        append = sharded.append
+        tuple_new = tuple.__new__
+        event_cls = ShardedEvent
+        batch_role = ShardRole.BATCH
+        for event, repeat in zip(trace.events, repeats):
             op = event.op
-            if op not in shard_cache:
-                shard_cache[op] = tuple(
-                    shard_op(op, ShardRole.BATCH, weights)
-                )
-            sharded.append(
-                ShardedEvent(
-                    source=event,
-                    role=ShardRole.BATCH,
-                    ops=shard_cache[op],
-                    comm=None,
-                    repeat=event_repeat(event),
+            shards = shard_cache.get(id(op))
+            if shards is None:
+                shards = tuple(shard_op(op, batch_role, weights))
+                shard_cache[id(op)] = shards
+            append(
+                tuple_new(
+                    event_cls, (event, batch_role, shards, None, repeat, 0)
                 )
             )
         return DistributedPlan(
@@ -320,6 +428,7 @@ class PipelineParallel(PartitionStrategy):
         events = list(trace)
         if not events:
             raise ValueError("cannot partition an empty trace")
+        repeats = trace_repeats(trace)
         boundaries = self._stage_boundaries(events)
         sharded: list[ShardedEvent] = []
         stage = 0
@@ -344,7 +453,7 @@ class PipelineParallel(PartitionStrategy):
                     role=ShardRole.SEQUENCE,
                     ops=tuple(ops),
                     comm=comm,
-                    repeat=event_repeat(event),
+                    repeat=repeats[index],
                     stage=stage,
                 )
             )

@@ -122,10 +122,22 @@ def machine_from_name(name: str) -> MachineSpec:
 
 
 def register_machine(machine: MachineSpec, *, replace: bool = False) -> None:
-    """Add a machine to the registry (for user-defined backends)."""
+    """Add a machine to the registry (for user-defined backends).
+
+    Replacing a machine invalidates every kernel cost priced on the
+    outgoing GPU spec: the cost cache is content-addressed, so a
+    *changed* spec could never alias a stale entry, but a replacement
+    that reuses the old GPU name must not leave dead costs pinned in
+    the process-wide table.
+    """
     if machine.name in MACHINES and not replace:
         raise ValueError(f"machine {machine.name!r} already registered")
+    previous = MACHINES.get(machine.name)
     MACHINES[machine.name] = machine
+    if previous is not None and previous.gpu != machine.gpu:
+        from repro.kernels.cache import GLOBAL_COST_CACHE
+
+        GLOBAL_COST_CACHE.invalidate_spec(previous.gpu)
 
 
 def render_machine_table() -> str:

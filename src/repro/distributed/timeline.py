@@ -143,34 +143,132 @@ def _build_spmd(
     world = plan.world
     comm_model = machine.topology.cost_model(world)
     timelines = [DeviceTimeline(rank=rank) for rank in range(world)]
+    # Shard tuples are shared between events (the partitioners intern
+    # them per op), so one kernel-time lookup per distinct shard tuple
+    # covers the whole plan.  Only time_s is consumed here; scaling by
+    # the fold factor is the same float multiply KernelCost.scaled does.
+    # ``tuple_times`` also records whether every rank got an identical
+    # time: tensor parallelism splits evenly, so almost every event is
+    # uniform, and uniform events advance all ranks in lockstep — the
+    # aggregate-only path below then prices one logical rank instead of
+    # looping over the group (each rank would accumulate the exact same
+    # float sequence, so the sums are bit-identical).
+    op_time: dict[int, float] = {}
+    tuple_times: dict[int, tuple[list[float | None], float | None]] = {}
+    comm_time_memo: dict[int, float] = {}
+
+    def times_for(ops: tuple) -> tuple[list[float | None], float | None]:
+        entry = tuple_times.get(id(ops))
+        if entry is None:
+            times: list[float | None] = []
+            for op in ops:
+                if op is None:
+                    times.append(None)
+                    continue
+                base_s = op_time.get(id(op))
+                if base_s is None:
+                    base_s = estimator.estimate(op).time_s
+                    op_time[id(op)] = base_s
+                times.append(base_s)
+            first = times[0]
+            uniform = first if all(t == first for t in times) else None
+            entry = (times, uniform)
+            tuple_times[id(ops)] = entry
+        return entry
+
+    if not keep_entries:
+        # Aggregate-only pricing (scaling sweeps): plain float lists
+        # instead of dataclass attribute updates, one time lookup per
+        # event instead of per rank.  Every accumulator adds the exact
+        # same float sequence the entry-building path would, so the
+        # totals are bit-identical.  ShardedEvent rows are unpacked as
+        # tuples and the memo gets are inlined — at hundreds of
+        # thousands of events per sweep, attribute and call overhead
+        # are the remaining cost.
+        ranks = range(world)
+        world_gt1 = world > 1
+        compute = [0.0] * world
+        clocks_list = [0.0] * world
+        comm_s = 0.0
+        exposed_s = 0.0
+        times_get = tuple_times.get
+        comm_get = comm_time_memo.get
+        for event in plan.sharded_events:
+            _, _, ops, comm, repeat, _ = event
+            entry = times_get(id(ops))
+            if entry is None:
+                entry = times_for(ops)
+            times, uniform = entry
+            if uniform is not None:
+                time_s = uniform * repeat if repeat != 1 else uniform
+                for rank in ranks:
+                    compute[rank] += time_s
+                    clocks_list[rank] += time_s
+            else:
+                for rank, base_s in enumerate(times):
+                    if base_s is None:
+                        continue
+                    time_s = base_s * repeat if repeat != 1 else base_s
+                    compute[rank] += time_s
+                    clocks_list[rank] += time_s
+            if comm is not None and world_gt1:
+                # CommSpec instances are interned by the partitioner's
+                # resolution memo, so identity keys are stable; a
+                # duplicate spec object merely re-prices to the same
+                # deterministic value.
+                base_comm_s = comm_get(id(comm))
+                if base_comm_s is None:
+                    base_comm_s = comm_model.estimate(
+                        comm.kind, comm.payload_bytes, world
+                    ).time_s
+                    comm_time_memo[id(comm)] = base_comm_s
+                comm_time = base_comm_s * repeat
+                exposed = comm_time * (1.0 - overlap)
+                comm_s += comm_time
+                exposed_s += exposed
+                synced = max(clocks_list) + exposed
+                for rank in ranks:
+                    clocks_list[rank] = synced
+        for rank, timeline in enumerate(timelines):
+            timeline.compute_time_s = compute[rank]
+            timeline.comm_time_s = comm_s
+            timeline.exposed_comm_time_s = exposed_s
+            timeline.end_s = clocks_list[rank]
+        return timelines
+
     clocks = [0.0] * world
     for event in plan.sharded_events:
-        for rank, op in enumerate(event.ops):
-            if op is None:
+        repeat = event.repeat
+        times, _ = times_for(event.ops)
+        for rank, base_s in enumerate(times):
+            if base_s is None:
                 continue
-            cost = estimator.estimate(op).scaled(event.repeat)
+            op = event.ops[rank]
+            time_s = base_s * repeat if repeat != 1 else base_s
             timeline = timelines[rank]
-            if keep_entries:
-                timeline.entries.append(
-                    TimelineEntry(
-                        kind="compute",
-                        label=op.name,
-                        start_s=clocks[rank],
-                        duration_s=cost.time_s,
-                    )
+            timeline.entries.append(
+                TimelineEntry(
+                    kind="compute",
+                    label=op.name,
+                    start_s=clocks[rank],
+                    duration_s=time_s,
                 )
-            timeline.compute_time_s += cost.time_s
-            clocks[rank] += cost.time_s
-        if event.comm is not None and world > 1:
-            estimate = comm_model.estimate(
-                event.comm.kind, event.comm.payload_bytes, world
             )
-            comm_time = estimate.time_s * event.repeat
+            timeline.compute_time_s += time_s
+            clocks[rank] += time_s
+        if event.comm is not None and world > 1:
+            base_comm_s = comm_time_memo.get(id(event.comm))
+            if base_comm_s is None:
+                base_comm_s = comm_model.estimate(
+                    event.comm.kind, event.comm.payload_bytes, world
+                ).time_s
+                comm_time_memo[id(event.comm)] = base_comm_s
+            comm_time = base_comm_s * repeat
             exposed = comm_time * (1.0 - overlap)
             start = max(clocks)
             for rank in range(world):
                 timeline = timelines[rank]
-                if keep_entries and exposed > 0:
+                if exposed > 0:
                     timeline.entries.append(
                         TimelineEntry(
                             kind="comm",
@@ -198,11 +296,17 @@ def _build_pipeline(
     comm_model = machine.topology.cost_model(2)
     timelines = [DeviceTimeline(rank=rank) for rank in range(world)]
     clock = 0.0  # single-sample latency: stages execute back to back
+    op_time: dict[int, float] = {}
     for event in plan.sharded_events:
         rank = event.stage
         op = event.ops[rank]
         if op is not None:
-            cost = estimator.estimate(op).scaled(event.repeat)
+            base_s = op_time.get(id(op))
+            if base_s is None:
+                base_s = estimator.estimate(op).time_s
+                op_time[id(op)] = base_s
+            repeat = event.repeat
+            time_s = base_s * repeat if repeat != 1 else base_s
             timeline = timelines[rank]
             if keep_entries:
                 timeline.entries.append(
@@ -210,11 +314,11 @@ def _build_pipeline(
                         kind="compute",
                         label=op.name,
                         start_s=clock,
-                        duration_s=cost.time_s,
+                        duration_s=time_s,
                     )
                 )
-            timeline.compute_time_s += cost.time_s
-            clock += cost.time_s
+            timeline.compute_time_s += time_s
+            clock += time_s
             timeline.end_s = clock
         if event.comm is not None:
             estimate = comm_model.send_recv(event.comm.payload_bytes)

@@ -18,7 +18,9 @@ trips it).  Refresh the committed files with ``pytest tests/golden
 
 from __future__ import annotations
 
+import json
 import math
+from pathlib import Path
 from typing import Callable
 
 from repro.distributed.scaling import strong_scaling
@@ -110,12 +112,73 @@ def dist1_summary(
     return summary
 
 
+def serve1_summary() -> dict:
+    """Fleet-serving latency percentiles and SLO accounting (serve1).
+
+    Pins the seeded fleet simulation: per-model p50/p95, goodput,
+    violation seconds and availability for the flash fleet with and
+    without the injected crash.  The discrete-event simulator is
+    deterministic under a fixed seed, so these are exact numbers, not
+    distributions.
+    """
+    from repro.experiments.serve1_fleet import (
+        A100_SERVERS,
+        CRASH,
+        MODELS,
+        _pool,
+        _scenario,
+        _service_times,
+    )
+    from repro.serving.faults import FaultSchedule
+
+    flash_service = _service_times(use_flash=True)
+    deadlines = {name: 3.0 * flash_service[name] for name in MODELS}
+    summary: dict = {}
+    for label, faults in (
+        ("flash", FaultSchedule()),
+        ("flash_crash", FaultSchedule(crashes=(CRASH,))),
+    ):
+        pools = [
+            _pool("a100", "dgx-a100-80g", A100_SERVERS, flash_service)
+        ]
+        report, slo = _scenario(
+            flash_service, pools, faults=faults, deadlines=deadlines
+        )
+        summary[label] = {
+            "goodput": slo.goodput,
+            "violation_s": slo.violation_s,
+            "availability": slo.availability,
+            "completion_rate": report.completion_rate,
+            "per_model": {
+                entry.model: {
+                    "p50_s": entry.p50_s,
+                    "p95_s": entry.p95_s,
+                }
+                for entry in slo.per_model
+            },
+        }
+    return summary
+
+
 GOLDEN_SUMMARIES: dict[str, Callable[[], dict]] = {
     "table1": table1_summary,
     "table2": table2_summary,
     "fig06_shares": fig6_summary,
     "dist1": dist1_summary,
+    "serve1": serve1_summary,
 }
+
+
+def write_golden(name: str, path: Path) -> dict:
+    """Compute summary ``name`` and write it as golden JSON at ``path``.
+
+    The single write path for both the ``--update-golden`` refresh and
+    the refresh-path tests, so the on-disk format cannot fork.
+    Returns the summary that was written.
+    """
+    actual = GOLDEN_SUMMARIES[name]()
+    path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+    return actual
 
 
 def _flatten(tree: dict, prefix: str = "") -> dict[str, object]:

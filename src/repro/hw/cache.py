@@ -55,38 +55,52 @@ class SetAssociativeCache:
 
     def __init__(self, spec: CacheSpec):
         self.spec = spec
-        self.stats = CacheStats()
+        # Geometry hoisted out of the spec and counters kept as plain
+        # ints: ``access`` runs millions of times per simulated kernel,
+        # so property and dataclass-attribute indirection would dominate.
+        self._line_bytes = spec.line_bytes
+        self._num_sets = spec.num_sets
+        self._associativity = spec.associativity
+        self._accesses = 0
+        self._hits = 0
         # One ordered dict of {tag: None} per set.
         self._sets: list[dict[int, None]] = [
             {} for _ in range(spec.num_sets)
         ]
 
+    @property
+    def stats(self) -> CacheStats:
+        """Counters accumulated since the last reset/clear."""
+        return CacheStats(accesses=self._accesses, hits=self._hits)
+
     def reset(self) -> None:
         """Clear contents and statistics."""
-        self.stats = CacheStats()
+        self._accesses = 0
+        self._hits = 0
         for entry in self._sets:
             entry.clear()
 
     def clear_stats(self) -> None:
         """Zero the counters but keep cached lines (for warm-up phases)."""
-        self.stats = CacheStats()
+        self._accesses = 0
+        self._hits = 0
 
     def access(self, address: int) -> bool:
         """Access one byte address; returns True on hit."""
-        line = address // self.spec.line_bytes
-        index = line % self.spec.num_sets
-        tag = line // self.spec.num_sets
+        num_sets = self._num_sets
+        line = address // self._line_bytes
+        tag, index = divmod(line, num_sets)
         entries = self._sets[index]
-        self.stats.accesses += 1
+        self._accesses += 1
         if tag in entries:
             # Refresh LRU position.
             del entries[tag]
             entries[tag] = None
-            self.stats.hits += 1
+            self._hits += 1
             return True
-        if len(entries) >= self.spec.associativity:
+        if len(entries) >= self._associativity:
             # Evict LRU (first inserted).
-            entries.pop(next(iter(entries)))
+            del entries[next(iter(entries))]
         entries[tag] = None
         return False
 

@@ -55,6 +55,15 @@ class ExecutionContext:
         self._module_stack: list[str] = []
         self._clock_s = 0.0
         self._repeat_factor = 1
+        # Subgraph-replay memoization key: identical (machine, tuning,
+        # attention lowering) contexts replay recorded module subgraphs
+        # instead of re-walking them (see Module.__call__).  Estimators
+        # without a content token (custom test doubles, or caching
+        # disabled via REPRO_NO_CACHE) leave memoization off.
+        machine = getattr(estimator, "cache_token", None)
+        self.memo_token = (
+            None if machine is None else (machine, attention_impl)
+        )
 
     # -- module scoping ----------------------------------------------------
 
@@ -127,6 +136,32 @@ class ExecutionContext:
         self.trace.events.append(event)
         self._clock_s += cost.time_s
         return cost
+
+    # -- subgraph replay ---------------------------------------------------
+
+    def replay_segment(self, segment: "object") -> None:
+        """Append a recorded module subgraph to the trace.
+
+        ``segment`` is a :class:`repro.ir.memo.Segment`: (relative path,
+        op, cost, flags) tuples captured by a previous identical call.
+        Replay reproduces exactly the events re-running the module would
+        emit — same ops, same costs, same clock accumulation order —
+        with module paths re-rooted at the current scope.
+        """
+        events = self.trace.events
+        index = len(events)
+        clock = self._clock_s
+        prefix = ".".join(self._module_stack)
+        base = prefix + "." if prefix else ""
+        append = events.append
+        event_cls = TraceEvent
+        for rel_path, op, cost, flags, time_s in segment.items:
+            append(
+                event_cls(index, base + rel_path, op, cost, clock, flags)
+            )
+            clock += time_s
+            index += 1
+        self._clock_s = clock
 
     # -- summary ----------------------------------------------------------
 

@@ -13,11 +13,13 @@ Structural tooling over the module tree and recorded traces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import networkx as nx
+from typing import TYPE_CHECKING
 
 from repro.ir.module import Module
 from repro.ir.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx as nx
 
 
 def module_graph(model: Module) -> "nx.DiGraph":
@@ -26,6 +28,10 @@ def module_graph(model: Module) -> "nx.DiGraph":
     Node attributes: ``type`` (class name), ``own_params``,
     ``subtree_params``.
     """
+    # Imported lazily: networkx costs ~120 ms at interpreter start and
+    # only the structural-query helpers need it.
+    import networkx as nx
+
     graph = nx.DiGraph()
     for path, module in model.named_modules():
         graph.add_node(
@@ -42,6 +48,8 @@ def module_graph(model: Module) -> "nx.DiGraph":
 
 def tree_depth(model: Module) -> int:
     """Longest root-to-leaf containment chain."""
+    import networkx as nx
+
     graph = module_graph(model)
     root = model.name
     return max(

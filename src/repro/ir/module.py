@@ -15,12 +15,31 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+from repro.ir.memo import Segment, capture_segment
+
 ForwardHook = Callable[["Module", "Any", tuple, Any], None]
 PreForwardHook = Callable[["Module", "Any", tuple], None]
 
+# Bumped on every hook (de)registration anywhere in the process; modules
+# cache their subtree-hook scan against it so the memoization fast path
+# does not walk the tree on every call.
+_hook_epoch = 0
+
+
+def _bump_hook_epoch() -> None:
+    global _hook_epoch
+    _hook_epoch += 1
+
 
 class Module:
-    """Base class for all model components."""
+    """Base class for all model components.
+
+    Modules are assumed immutable after construction (configs are frozen
+    dataclasses throughout): repeated calls with equal symbolic inputs
+    under an equal execution context emit identical operator streams,
+    which is what lets ``__call__`` replay recorded subgraphs (see
+    :mod:`repro.ir.memo`) instead of re-walking generation loops.
+    """
 
     def __init__(self, name: str | None = None):
         # Bypass __setattr__ child registration for internal state.
@@ -28,6 +47,10 @@ class Module:
         object.__setattr__(self, "_forward_hooks", [])
         object.__setattr__(self, "_pre_forward_hooks", [])
         object.__setattr__(self, "name", name or type(self).__name__)
+        # Subgraph memo table: call key -> 1 (seen once) | Segment.
+        object.__setattr__(self, "_memo", {})
+        # Cached (hook epoch, subtree-has-hooks) scan result.
+        object.__setattr__(self, "_hooks_scan", (-1, False))
 
     # -- tree structure --------------------------------------------------
 
@@ -80,14 +103,44 @@ class Module:
     def register_forward_hook(self, hook: ForwardHook) -> Callable[[], None]:
         """Add a post-forward hook; returns a remover callable."""
         self._forward_hooks.append(hook)
-        return lambda: self._forward_hooks.remove(hook)
+        _bump_hook_epoch()
+
+        def remove() -> None:
+            self._forward_hooks.remove(hook)
+            _bump_hook_epoch()
+
+        return remove
 
     def register_pre_forward_hook(
         self, hook: PreForwardHook
     ) -> Callable[[], None]:
         """Add a hook that fires before forward; returns a remover."""
         self._pre_forward_hooks.append(hook)
-        return lambda: self._pre_forward_hooks.remove(hook)
+        _bump_hook_epoch()
+
+        def remove() -> None:
+            self._pre_forward_hooks.remove(hook)
+            _bump_hook_epoch()
+
+        return remove
+
+    def _subtree_has_hooks(self) -> bool:
+        """True when any module in this subtree has a registered hook.
+
+        Hooked subtrees must really execute (the hooks are the point),
+        so they are excluded from record/replay.  The scan is cached
+        against the global hook epoch; in hook-free runs it costs one
+        tree walk per module for the whole process lifetime.
+        """
+        epoch, hooked = self._hooks_scan
+        if epoch == _hook_epoch:
+            return hooked
+        hooked = any(
+            module._forward_hooks or module._pre_forward_hooks
+            for module in self.modules()
+        )
+        object.__setattr__(self, "_hooks_scan", (_hook_epoch, hooked))
+        return hooked
 
     def forward(self, ctx: Any, *args: Any, **kwargs: Any) -> Any:
         """Emit this module's operators into ``ctx``; return outputs."""
@@ -96,13 +149,50 @@ class Module:
         )
 
     def __call__(self, ctx: Any, *args: Any, **kwargs: Any) -> Any:
-        for hook in self._pre_forward_hooks:
-            hook(self, ctx, args)
+        token = getattr(ctx, "memo_token", None)
+        if token is None or self._subtree_has_hooks():
+            # Hooked (or memo-disabled) path: always really execute.
+            for hook in self._pre_forward_hooks:
+                hook(self, ctx, args)
+            with ctx.module_scope(self):
+                output = self.forward(ctx, *args, **kwargs)
+            for hook in self._forward_hooks:
+                hook(self, ctx, args, output)
+            return output
+        try:
+            key = (
+                token,
+                ctx._repeat_factor,
+                args,
+                tuple(sorted(kwargs.items())) if kwargs else (),
+            )
+            state = self._memo.get(key)
+        except TypeError:
+            # Unhashable arguments: this call cannot be memoized.
+            key = None
+            state = None
+        if type(state) is Segment:
+            ctx.replay_segment(state)
+            return state.output
+        if key is not None and state == 1:
+            # Second identical call: execute once more, recording the
+            # emissions so every further call replays them.
+            start = len(ctx.trace.events)
+            prefix = ctx.current_path
+            with ctx.module_scope(self):
+                output = self.forward(ctx, *args, **kwargs)
+            segment = capture_segment(
+                ctx.trace.events, start, prefix, output
+            )
+            # Outputs that cannot be shared leave the entry at 1; the
+            # next call lands here again and simply re-executes.
+            if segment is not None:
+                self._memo[key] = segment
+            return output
+        if key is not None:
+            self._memo[key] = 1
         with ctx.module_scope(self):
-            output = self.forward(ctx, *args, **kwargs)
-        for hook in self._forward_hooks:
-            hook(self, ctx, args, output)
-        return output
+            return self.forward(ctx, *args, **kwargs)
 
     def __repr__(self) -> str:
         return (

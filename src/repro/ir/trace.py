@@ -114,10 +114,28 @@ class TraceEvent:
 
 
 class Trace:
-    """An ordered collection of trace events with query helpers."""
+    """An ordered collection of trace events with query helpers.
+
+    Aggregate queries (totals, per-category times) are memoized against
+    the current event count: experiments ask for the same totals of the
+    same shared profile traces dozens of times, and traces only ever
+    grow (events are appended while a model runs, never edited), so a
+    length-guarded memo is exact.
+    """
 
     def __init__(self, events: list[TraceEvent] | None = None):
         self.events: list[TraceEvent] = events if events is not None else []
+        self._agg: dict[str, tuple[int, object]] = {}
+
+    def _aggregate(self, key: str, compute: Callable[[], object]) -> object:
+        """Value of one aggregate, recomputed only when events grew."""
+        entry = self._agg.get(key)
+        count = len(self.events)
+        if entry is not None and entry[0] == count:
+            return entry[1]
+        value = compute()
+        self._agg[key] = (count, value)
+        return value
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
@@ -127,15 +145,21 @@ class Trace:
 
     @property
     def total_time_s(self) -> float:
-        return sum(event.cost.time_s for event in self.events)
+        return self._aggregate(
+            "time", lambda: sum(e.cost.time_s for e in self.events)
+        )
 
     @property
     def total_flops(self) -> float:
-        return sum(event.cost.flops for event in self.events)
+        return self._aggregate(
+            "flops", lambda: sum(e.cost.flops for e in self.events)
+        )
 
     @property
     def total_moved_bytes(self) -> float:
-        return sum(event.cost.moved_bytes for event in self.events)
+        return self._aggregate(
+            "bytes", lambda: sum(e.cost.moved_bytes for e in self.events)
+        )
 
     def filter(self, predicate: Callable[[TraceEvent], bool]) -> "Trace":
         """New trace holding only the events the predicate accepts."""
@@ -158,9 +182,13 @@ class Trace:
 
     def time_by_category(self) -> dict[OpCategory, float]:
         """Execution time grouped by operator category (Figure 6 bars)."""
-        times: dict[OpCategory, float] = {}
-        for event in self.events:
-            times[event.category] = (
-                times.get(event.category, 0.0) + event.cost.time_s
-            )
-        return times
+
+        def compute() -> dict[OpCategory, float]:
+            times: dict[OpCategory, float] = {}
+            get = times.get
+            for event in self.events:
+                category = event.op.category
+                times[category] = get(category, 0.0) + event.cost.time_s
+            return times
+
+        return dict(self._aggregate("by_category", compute))

@@ -113,8 +113,36 @@ class _SimMachine:
         self.l2 = SetAssociativeCache(spec.l2)
 
     def access(self, sm: int, line_address: int) -> None:
-        if not self.l1s[sm % self.num_sms].access(line_address):
-            self.l2.access(line_address)
+        # Inlined SetAssociativeCache.access for both levels: this runs
+        # millions of times per Figure 12 simulation, where the extra
+        # call layers would dominate the wall time.  Mirrors the logic
+        # in repro.hw.cache exactly (same counters, same LRU updates).
+        l1 = self.l1s[sm % self.num_sms]
+        line = line_address // l1._line_bytes
+        tag, index = divmod(line, l1._num_sets)
+        entries = l1._sets[index]
+        l1._accesses += 1
+        if tag in entries:
+            del entries[tag]
+            entries[tag] = None
+            l1._hits += 1
+            return
+        if len(entries) >= l1._associativity:
+            del entries[next(iter(entries))]
+        entries[tag] = None
+        l2 = self.l2
+        line = line_address // l2._line_bytes
+        tag, index = divmod(line, l2._num_sets)
+        entries = l2._sets[index]
+        l2._accesses += 1
+        if tag in entries:
+            del entries[tag]
+            entries[tag] = None
+            l2._hits += 1
+            return
+        if len(entries) >= l2._associativity:
+            del entries[next(iter(entries))]
+        entries[tag] = None
 
     def warm_l2(self, line_address: int) -> None:
         """Install a line in L2 (producer-kernel write), not counted."""

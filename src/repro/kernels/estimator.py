@@ -19,6 +19,11 @@ from repro.ir.ops import (
 )
 from repro.ir.trace import KernelCost
 from repro.kernels.base import DEFAULT_TUNING, TuningConstants
+from repro.kernels.cache import (
+    GLOBAL_COST_CACHE,
+    caching_disabled_by_env,
+    machine_token,
+)
 from repro.kernels.conv import ConvCostModel
 from repro.kernels.flash_attention import FlashAttentionCostModel
 from repro.kernels.gemm import GemmCostModel
@@ -26,18 +31,41 @@ from repro.kernels.normalization import BandwidthCostModel
 
 
 class CostEstimator:
-    """Routes each operator to its kernel cost model."""
+    """Routes each operator to its kernel cost model.
 
-    def __init__(self, spec: GPUSpec, tuning: TuningConstants = DEFAULT_TUNING):
+    Costs are memoized in the process-wide
+    :data:`repro.kernels.cache.GLOBAL_COST_CACHE`, content-addressed on
+    (operator, GPU spec, tuning), so every estimator pricing the same
+    machine shares one table.  Pass ``use_cache=False`` (or set
+    ``REPRO_NO_CACHE=1``) to price every operator from scratch.
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        tuning: TuningConstants = DEFAULT_TUNING,
+        *,
+        use_cache: bool | None = None,
+    ):
         self.spec = spec
         self.tuning = tuning
         self.gemm = GemmCostModel(spec, tuning)
         self.conv = ConvCostModel(spec, tuning)
         self.flash = FlashAttentionCostModel(spec, tuning)
         self.bandwidth = BandwidthCostModel(spec, tuning)
+        if use_cache is None:
+            use_cache = not caching_disabled_by_env()
+        self.cache_token = machine_token(spec, tuning) if use_cache else None
+        if use_cache:
+            # Bound methods resolved once: estimate() is the hottest
+            # call in the simulator and runs a few hundred thousand
+            # times per experiment sweep.
+            self._bucket = GLOBAL_COST_CACHE.bucket(self.cache_token)
+            self._get_or_compute = GLOBAL_COST_CACHE.get_or_compute
+            self._count_hit = GLOBAL_COST_CACHE.count_hit
 
-    def estimate(self, op: Op) -> KernelCost:
-        """Cost one operator launch via its kernel model."""
+    def compute_estimate(self, op: Op) -> KernelCost:
+        """Price one operator launch via its kernel model (uncached)."""
         if isinstance(op, Gemm):
             return self.gemm.estimate(op)
         if isinstance(op, (Conv2d, Conv3d)):
@@ -52,29 +80,32 @@ class CostEstimator:
             return self.bandwidth.estimate(op)
         raise TypeError(f"no cost model for operator type {type(op).__name__}")
 
-
-class CachingCostEstimator(CostEstimator):
-    """Cost estimator with operator memoization.
-
-    Operators are frozen (hashable) dataclasses and model traces repeat
-    the same shapes thousands of times, so costing is a dictionary hit
-    after the first occurrence.  The distributed executor leans on this:
-    re-pricing a 40k-event trace for every rank of an 8-way partition
-    touches only a few hundred distinct shapes.
-    """
-
-    def __init__(self, spec: GPUSpec, tuning: TuningConstants = DEFAULT_TUNING):
-        super().__init__(spec, tuning)
-        self._cache: dict[Op, KernelCost] = {}
-
     def estimate(self, op: Op) -> KernelCost:
-        """Cost one operator launch, memoized by operator value."""
-        cached = self._cache.get(op)
-        if cached is None:
-            cached = super().estimate(op)
-            self._cache[op] = cached
-        return cached
+        """Cost one operator launch (shared-cache hit after the first)."""
+        if self.cache_token is None:
+            return self.compute_estimate(op)
+        cost = self._bucket.get(op)
+        if cost is None:
+            return self._get_or_compute(
+                self.cache_token, op, self.compute_estimate
+            )
+        self._count_hit()
+        return cost
 
     def cache_size(self) -> int:
-        """Distinct operator shapes priced so far."""
-        return len(self._cache)
+        """Distinct operator shapes priced for this machine so far."""
+        if self.cache_token is None:
+            return 0
+        return len(GLOBAL_COST_CACHE.bucket(self.cache_token))
+
+
+class CachingCostEstimator(CostEstimator):
+    """Backwards-compatible alias for the (now always caching) estimator.
+
+    Earlier revisions memoized per instance; the cache now lives in
+    :data:`repro.kernels.cache.GLOBAL_COST_CACHE` so the profiler, the
+    distributed sharder and the fleet simulator share hits.  The name is
+    kept because the distributed layer and external callers construct it
+    directly.
+    """
+

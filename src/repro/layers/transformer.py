@@ -40,6 +40,18 @@ class TransformerConfig:
             )
 
 
+# Replay-memo tables shared by every block built from one (frozen,
+# hashable) config.  Blocks of a stack are structurally identical and
+# carry the same scope name, so they emit byte-identical event streams
+# for equal inputs; sharing the table lets block N replay what block 2
+# recorded instead of each of the stack's layers re-walking separately.
+_BLOCK_MEMOS: dict[TransformerConfig, dict] = {}
+
+
+def _shared_block_memo(config: TransformerConfig) -> dict:
+    return _BLOCK_MEMOS.setdefault(config, {})
+
+
 class TransformerBlock(Module):
     """Pre-norm block: self-attention, optional cross-attention, FFN."""
 
@@ -95,12 +107,11 @@ class TransformerStack(Module):
         super().__init__(name=name or "transformer")
         self.config = config
         self.blocks: list[TransformerBlock] = []
+        shared_memo = _shared_block_memo(config)
         for index in range(config.num_layers):
-            self.blocks.append(
-                self.add_module(
-                    f"block_{index}", TransformerBlock(config)
-                )
-            )
+            block = TransformerBlock(config)
+            object.__setattr__(block, "_memo", shared_memo)
+            self.blocks.append(self.add_module(f"block_{index}", block))
         norm_cls = RMSNormLayer if config.rms_norm else LayerNormLayer
         self.final_norm = norm_cls(config.dim)
 

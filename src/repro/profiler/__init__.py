@@ -35,6 +35,17 @@ from repro.profiler.seqlen import (
     sequence_length_distribution,
     sequence_length_profile,
 )
+from repro.profiler.sweeps import (
+    CompressedTrace,
+    GridSweepResult,
+    SweepResult,
+    batch_step_grid,
+    batch_sweep,
+    compress_trace,
+    evaluate_profiles,
+    seqlen_sweep,
+    step_sweep,
+)
 from repro.profiler.trace_export import (
     load_chrome_trace,
     parse_chrome_trace,
@@ -44,9 +55,18 @@ from repro.profiler.trace_export import (
 
 __all__ = [
     "ComponentSummary",
+    "CompressedTrace",
     "DiffEntry",
     "DistributedProfileResult",
+    "GridSweepResult",
+    "SweepResult",
     "TraceDiff",
+    "batch_step_grid",
+    "batch_sweep",
+    "compress_trace",
+    "evaluate_profiles",
+    "seqlen_sweep",
+    "step_sweep",
     "diff_traces",
     "render_diff",
     "InferenceMemoryFootprint",

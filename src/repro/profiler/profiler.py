@@ -8,6 +8,7 @@ breakdown, speedup and sequence-length analyses.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 from repro.hw.spec import A100_80GB, GPUSpec
@@ -16,6 +17,22 @@ from repro.ir.module import Module
 from repro.ir.trace import Trace
 from repro.kernels.base import DEFAULT_TUNING, TuningConstants
 from repro.kernels.estimator import CostEstimator
+
+# Process-wide profile memo: model instance -> {(machine token,
+# attention impl, batch): ProfileResult}.  Different experiments ask for
+# the same configuration (the serving experiments re-profile the suite
+# models on H100 that the distributed sweeps already priced); profiling
+# is deterministic, so they can share one result object.  Keyed weakly
+# so profiles die with their model.  Disabled along with every other
+# layer by REPRO_NO_CACHE=1 (the estimator then carries no cache token).
+_PROFILE_CACHE: "weakref.WeakKeyDictionary[Module, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def clear_profile_cache() -> None:
+    """Drop memoized profiles (tests and tuning ablations)."""
+    _PROFILE_CACHE.clear()
 
 
 @dataclass
@@ -48,21 +65,37 @@ def profile_model(
     """Run one full inference of ``model`` and capture the trace.
 
     ``model`` must expose ``run_inference(ctx, batch=...)`` (every model
-    in :mod:`repro.models` does).
+    in :mod:`repro.models` does).  Results are memoized per (model,
+    machine, attention impl, batch): repeated profiles of one
+    configuration return the same :class:`ProfileResult` object.
     """
+    estimator = CostEstimator(gpu, tuning)
+    key = None
+    table = None
+    if estimator.cache_token is not None:
+        key = (estimator.cache_token, attention_impl, batch)
+        table = _PROFILE_CACHE.get(model)
+        if table is None:
+            table = _PROFILE_CACHE.setdefault(model, {})
+        cached = table.get(key)
+        if cached is not None:
+            return cached
     ctx = ExecutionContext(
         gpu=gpu,
         attention_impl=attention_impl,
-        estimator=CostEstimator(gpu, tuning),
+        estimator=estimator,
     )
     model.run_inference(ctx, batch=batch)
-    return ProfileResult(
+    result = ProfileResult(
         model_name=model.name,
         gpu=gpu,
         attention_impl=attention_impl,
         trace=ctx.trace,
         parameters=model.param_count(),
     )
+    if table is not None:
+        table[key] = result
+    return result
 
 
 def profile_both(

@@ -1,0 +1,55 @@
+"""Shared helpers behind the test and benchmark fixtures.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` historically each
+carried their own copies of the suite-warming logic and experiment
+assertions; both now delegate here so the two harnesses cannot drift
+(the benchmark suite warming a different cache than the tests pin, or
+the claim assertion diverging between them).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.experiments.suite_cache import all_profiles, model_instance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.base import ExperimentResult
+    from repro.models.base import GenerativeModel
+    from repro.profiler.profiler import ProfileResult
+
+
+def suite_profile_map() -> "dict[str, tuple[ProfileResult, ProfileResult]]":
+    """{name: (baseline, flash)} profiles, via the process-wide cache."""
+    return all_profiles()
+
+
+def suite_model_map() -> "dict[str, GenerativeModel]":
+    """{name: model} singletons matching the cached profiles."""
+    from repro.models.registry import suite_names
+
+    return {name: model_instance(name) for name in suite_names()}
+
+
+def assert_claims_hold(result: "ExperimentResult") -> None:
+    """Fail with the text of every claim that does not hold."""
+    assert result.all_claims_hold, (
+        f"{result.experiment_id}: "
+        + "; ".join(
+            claim.claim for claim in result.claims if not claim.holds
+        )
+    )
+
+
+def run_and_render(benchmark, experiment_run) -> "ExperimentResult":
+    """Benchmark an experiment once, print its report, check claims.
+
+    ``benchmark`` is the pytest-benchmark fixture; one round/iteration
+    because experiments are deterministic and their cost is what is
+    being measured, not their variance.
+    """
+    result = benchmark.pedantic(experiment_run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert_claims_hold(result)
+    return result

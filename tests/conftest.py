@@ -1,5 +1,7 @@
 """Shared fixtures: the suite profiles are expensive (~10 s), so they
 are computed once per session through the experiments-level cache.
+The fixture bodies live in :mod:`repro.testing`, shared with
+``benchmarks/conftest.py`` so the two harnesses warm identical caches.
 
 Also registers the ``--update-golden`` flag used by ``tests/golden``
 to refresh the committed golden-trace JSON files after an intentional
@@ -9,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.suite_cache import all_profiles, model_instance
+from repro.testing import suite_model_map, suite_profile_map
 
 
 def pytest_addoption(parser):
@@ -31,12 +33,10 @@ def update_golden(request):
 @pytest.fixture(scope="session")
 def suite_profiles():
     """{name: (baseline ProfileResult, flash ProfileResult)}."""
-    return all_profiles()
+    return suite_profile_map()
 
 
 @pytest.fixture(scope="session")
 def suite_models():
     """{name: GenerativeModel} singletons matching the cached profiles."""
-    from repro.models.registry import suite_names
-
-    return {name: model_instance(name) for name in suite_names()}
+    return suite_model_map()

@@ -25,6 +25,7 @@ from repro.experiments.golden import (
     GOLDEN_SUMMARIES,
     compare_summaries,
     dist1_summary,
+    write_golden,
 )
 from repro.kernels.base import DEFAULT_TUNING
 
@@ -37,16 +38,14 @@ def golden_path(name: str) -> Path:
 
 @pytest.mark.parametrize("name", sorted(GOLDEN_SUMMARIES))
 def test_summary_matches_golden(name, update_golden):
-    actual = GOLDEN_SUMMARIES[name]()
     path = golden_path(name)
     if update_golden:
-        path.write_text(
-            json.dumps(actual, indent=2, sort_keys=True) + "\n"
-        )
+        write_golden(name, path)
         return
     assert path.exists(), (
         f"{path} missing; generate it with --update-golden"
     )
+    actual = GOLDEN_SUMMARIES[name]()
     expected = json.loads(path.read_text())
     mismatches = compare_summaries(expected, actual)
     assert not mismatches, (
@@ -54,6 +53,39 @@ def test_summary_matches_golden(name, update_golden):
         + "\n  ".join(mismatches[:20])
         + "\nIf intentional, refresh with --update-golden and commit."
     )
+
+
+class TestRefreshPath:
+    """The --update-golden path itself is under test: a refreshed file
+    must round-trip through the comparison and a second refresh must be
+    byte-identical (the model is deterministic, so re-generating a
+    golden file with no model change produces no diff to review)."""
+
+    def test_refresh_round_trips(self, tmp_path):
+        path = tmp_path / "table2.json"
+        written = write_golden("table2", path)
+        loaded = json.loads(path.read_text())
+        assert compare_summaries(loaded, written) == []
+
+    def test_refresh_is_deterministic(self, tmp_path):
+        path = tmp_path / "serve1.json"
+        write_golden("serve1", path)
+        first = path.read_text()
+        write_golden("serve1", path)
+        assert path.read_text() == first
+
+    def test_refresh_matches_checked_in_golden(self):
+        """What --update-golden would write equals what is committed
+        (i.e. the working tree never sits one refresh away from a
+        silent diff)."""
+        path = golden_path("serve1")
+        assert path.exists(), (
+            f"{path} missing; generate it with --update-golden"
+        )
+        committed = json.loads(path.read_text())
+        assert compare_summaries(
+            committed, GOLDEN_SUMMARIES["serve1"]()
+        ) == []
 
 
 class TestComparison:

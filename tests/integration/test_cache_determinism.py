@@ -1,0 +1,71 @@
+"""Cache layers must not change a single output byte.
+
+The kernel-cost cache, subgraph replay and the profile memo exist only
+to make the simulator faster; ``REPRO_NO_CACHE=1`` switches every layer
+off.  This suite runs the full experiment battery in both modes in
+fresh interpreters and diffs the complete stdout — the strongest
+end-to-end statement of cache transparency (the property tests cover
+the per-kernel contract; this covers accumulation order, replay
+re-rooting, shared block memos, everything).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_experiments(*args: str, no_cache: bool) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    if no_cache:
+        env["REPRO_NO_CACHE"] = "1"
+    else:
+        env.pop("REPRO_NO_CACHE", None)
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        check=True,
+        timeout=600,
+    )
+    return result.stdout
+
+
+@pytest.mark.slow
+def test_all_experiments_identical_without_caches():
+    """`python -m repro.experiments all` is bit-identical either way."""
+    cached = _run_experiments("all", no_cache=False)
+    uncached = _run_experiments("all", no_cache=True)
+    assert cached, "experiment run produced no output"
+    if cached != uncached:
+        cached_lines = cached.splitlines()
+        uncached_lines = uncached.splitlines()
+        for index, (want, got) in enumerate(
+            zip(cached_lines, uncached_lines)
+        ):
+            assert want == got, (
+                f"first divergence at line {index}:\n"
+                f"  cached:   {want!r}\n"
+                f"  uncached: {got!r}"
+            )
+        raise AssertionError(
+            f"outputs differ in length: {len(cached_lines)} vs "
+            f"{len(uncached_lines)} lines"
+        )
+
+
+def test_repeated_cached_runs_identical():
+    """Two cached runs of one experiment agree byte for byte (the cache
+    is deterministic run to run, not only against the uncached path)."""
+    first = _run_experiments("fig5", no_cache=False)
+    second = _run_experiments("fig5", no_cache=False)
+    assert first == second

@@ -1,0 +1,202 @@
+"""Vectorized sweep engine vs the scalar per-event path.
+
+The sweep engine reorders float additions (``counts @ times`` instead
+of the trace's sequential accumulation), so agreement with the scalar
+path is ``isclose``, never bit-identity — that contract belongs to the
+golden suite, which this module's API is deliberately outside of.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models.stable_diffusion import (
+    StableDiffusion,
+    StableDiffusionConfig,
+)
+from repro.profiler.profiler import profile_model
+from repro.profiler.sweeps import (
+    batch_step_grid,
+    batch_sweep,
+    compress_trace,
+    evaluate_profiles,
+    seqlen_sweep,
+    step_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sd_model():
+    return StableDiffusion()
+
+
+@pytest.fixture(scope="module")
+def sd_profile(sd_model):
+    return profile_model(sd_model)
+
+
+class TestCompressTrace:
+    def test_totals_match_scalar_sums(self, sd_profile):
+        compressed = compress_trace(sd_profile.trace)
+        trace = sd_profile.trace
+        assert math.isclose(
+            compressed.total_time_s, trace.total_time_s, rel_tol=1e-9
+        )
+        totals = compressed.totals()
+        assert math.isclose(
+            float(totals[1]), trace.total_flops, rel_tol=1e-9
+        )
+        scalar_bytes = sum(
+            event.cost.moved_bytes for event in trace.events
+        )
+        assert math.isclose(
+            float(totals[2]), scalar_bytes, rel_tol=1e-9
+        )
+
+    def test_compression_is_dramatic(self, sd_profile):
+        """The whole point: tens of thousands of events collapse to a
+        few hundred distinct kernels."""
+        compressed = compress_trace(sd_profile.trace)
+        events = len(sd_profile.trace.events)
+        assert compressed.kernels < events / 10
+        assert compressed.launches >= events
+
+    def test_counts_include_fold_factors(self):
+        """A bucketed loop (repeat_scope) counts every folded launch."""
+        from repro.models.llama import Llama, LlamaConfig
+
+        model = Llama(
+            LlamaConfig(prompt_tokens=64, decode_tokens=64,
+                        decode_bucket=16)
+        )
+        profile = profile_model(model)
+        compressed = compress_trace(profile.trace)
+        assert compressed.launches > len(profile.trace.events)
+
+
+class TestBatchSweep:
+    def test_first_point_matches_profile(self, sd_model):
+        sweep = batch_sweep(sd_model, [1, 2, 4])
+        profile = profile_model(sd_model, batch=1)
+        assert math.isclose(
+            float(sweep.time_s[0]), profile.total_time_s, rel_tol=1e-9
+        )
+
+    def test_every_point_matches_its_scalar_profile(self, sd_model):
+        batches = [1, 2, 4]
+        sweep = batch_sweep(sd_model, batches)
+        for i, batch in enumerate(batches):
+            profile = profile_model(sd_model, batch=batch)
+            assert math.isclose(
+                float(sweep.time_s[i]),
+                profile.total_time_s,
+                rel_tol=1e-9,
+            ), f"batch {batch} diverged from scalar path"
+
+    def test_latency_grows_with_batch(self, sd_model):
+        sweep = batch_sweep(sd_model, [1, 2, 4])
+        assert np.all(np.diff(sweep.time_s) > 0)
+        assert np.all(np.diff(sweep.flops) > 0)
+
+    def test_scaling_vs_first_is_sublinear(self, sd_model):
+        """Batching amortizes launch overhead: 4x batch < 4x latency."""
+        sweep = batch_sweep(sd_model, [1, 4])
+        assert 1.0 < sweep.scaling_vs_first()[-1] < 4.0
+
+    def test_rows_render(self, sd_model):
+        rows = batch_sweep(sd_model, [1, 2]).as_rows()
+        assert len(rows) == 2 and rows[0][0] == 1
+
+    def test_mixed_machines_rejected(self, sd_model):
+        from repro.distributed.registry import machine_from_name
+
+        a100 = profile_model(sd_model)
+        h100 = profile_model(
+            sd_model, gpu=machine_from_name("dgx-h100").gpu
+        )
+        with pytest.raises(ValueError, match="one machine"):
+            evaluate_profiles([a100, h100], axis="gpu", values=[0, 1])
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_profiles([], axis="batch", values=[])
+
+
+class TestStepSweep:
+    def test_observed_step_count_reproduces_profile(self, sd_profile):
+        steps = StableDiffusionConfig().denoising_steps
+        sweep = step_sweep(sd_profile, [steps])
+        assert math.isclose(
+            float(sweep.time_s[0]),
+            sd_profile.total_time_s,
+            rel_tol=1e-9,
+        )
+
+    def test_linear_in_steps(self, sd_profile):
+        sweep = step_sweep(sd_profile, [10, 20, 40])
+        deltas = np.diff(sweep.time_s)
+        # 10->20 and 20->40 double the increment exactly (analytic).
+        assert math.isclose(
+            float(deltas[1]), 2 * float(deltas[0]), rel_tol=1e-9
+        )
+
+    def test_zero_steps_leaves_base_cost(self, sd_profile):
+        sweep = step_sweep(sd_profile, [0])
+        assert 0 < float(sweep.time_s[0]) < sd_profile.total_time_s
+
+    def test_unknown_scope_rejected(self, sd_profile):
+        with pytest.raises(ValueError, match="no 'warmup_<n>'"):
+            step_sweep(sd_profile, [10], loop_scope="warmup")
+
+    def test_negative_steps_rejected(self, sd_profile):
+        with pytest.raises(ValueError, match="non-negative"):
+            step_sweep(sd_profile, [-1])
+
+
+class TestSeqlenSweep:
+    def test_image_size_sweep_is_monotone(self):
+        config = StableDiffusionConfig()
+        sweep = seqlen_sweep(
+            lambda size: StableDiffusion(config.at_image_size(size)),
+            [256, 512],
+        )
+        assert float(sweep.time_s[1]) > float(sweep.time_s[0])
+
+    def test_points_match_scalar_profiles(self):
+        config = StableDiffusionConfig()
+        sizes = [256, 512]
+        models = {
+            size: StableDiffusion(config.at_image_size(size))
+            for size in sizes
+        }
+        sweep = seqlen_sweep(lambda size: models[size], sizes)
+        for i, size in enumerate(sizes):
+            profile = profile_model(models[size])
+            assert math.isclose(
+                float(sweep.time_s[i]),
+                profile.total_time_s,
+                rel_tol=1e-9,
+            )
+
+
+class TestBatchStepGrid:
+    def test_grid_corner_matches_profile(self, sd_model):
+        steps = StableDiffusionConfig().denoising_steps
+        grid = batch_step_grid(sd_model, [1, 2], [10, steps])
+        time_s, flops, moved = grid.point(1, steps)
+        profile = profile_model(sd_model, batch=1)
+        assert math.isclose(
+            time_s, profile.total_time_s, rel_tol=1e-9
+        )
+        assert math.isclose(
+            flops, profile.trace.total_flops, rel_tol=1e-9
+        )
+
+    def test_grid_shape_and_monotonicity(self, sd_model):
+        grid = batch_step_grid(sd_model, [1, 2], [10, 25, 50])
+        assert grid.time_s.shape == (2, 3)
+        assert np.all(np.diff(grid.time_s, axis=0) > 0)  # batch axis
+        assert np.all(np.diff(grid.time_s, axis=1) > 0)  # step axis
