@@ -184,3 +184,96 @@ def test_fleet_10k_requests(benchmark):
     )
     assert report.offered >= 10_000
     assert report.completion_rate > 0.99
+
+
+def test_fleet_10k_requests_resilient(benchmark):
+    """The same >=10k-request day with every protection mechanism on.
+
+    Gates the overhead of the resilience layer's hot-path hooks
+    (admission checks, breaker bookkeeping, hedge events, brownout
+    ticks) relative to ``test_fleet_10k_requests``.
+    """
+    from repro.serving.faults import RetryPolicy, generate_faults
+    from repro.serving.fleet import (
+        PoolSpec,
+        affine_batch_latency,
+        simulate_fleet,
+    )
+    from repro.serving.resilience import (
+        AdmissionConfig,
+        BrownoutConfig,
+        CircuitBreakerConfig,
+        DegradedRung,
+        HedgeConfig,
+        ResilienceConfig,
+    )
+    from repro.serving.workload import WorkloadMix, generate_requests
+
+    mix = WorkloadMix(
+        shares={"sd": 0.7, "muse": 0.3},
+        service_s={"sd": 2.0, "muse": 0.5},
+    )
+    requests = generate_requests(
+        mix, arrival_rate=20.0, duration_s=600.0, seed=7
+    )
+    assert len(requests) >= 10_000
+    pools = [
+        PoolSpec(
+            name="a100",
+            machine="dgx-a100-80g",
+            servers=32,
+            latency_fns={
+                model: affine_batch_latency(
+                    time, marginal_fraction=0.7
+                )
+                for model, time in mix.service_s.items()
+            },
+            max_batch=8,
+        )
+    ]
+    retry = RetryPolicy(
+        max_retries=2, backoff_s=1.0, multiplier=2.0, jitter=0.5
+    )
+    faults = generate_faults(
+        servers=32, duration_s=600.0, seed=13,
+        crash_rate_per_hour=3.0, straggler_rate_per_hour=3.0,
+    )
+    resilience = ResilienceConfig(
+        admission=AdmissionConfig(max_queue_depth=256),
+        breaker=CircuitBreakerConfig(
+            failure_threshold=3, window_s=60.0, cooldown_s=30.0,
+            slow_factor=2.5,
+        ),
+        hedge=HedgeConfig(quantile=95.0, min_samples=50),
+        brownout=BrownoutConfig(
+            rungs=(
+                DegradedRung(
+                    label="fast",
+                    latency_fns={
+                        model: affine_batch_latency(
+                            0.6 * time, marginal_fraction=0.7
+                        )
+                        for model, time in mix.service_s.items()
+                    },
+                    quality=0.8,
+                ),
+            ),
+            step_down_backlog=4.0,
+            step_up_backlog=1.0,
+            check_interval_s=5.0,
+        ),
+    )
+
+    report = benchmark.pedantic(
+        simulate_fleet,
+        args=(requests, pools),
+        kwargs={
+            "retry": retry, "faults": faults, "resilience": resilience,
+        },
+        rounds=2,
+        iterations=1,
+    )
+    assert report.offered >= 10_000
+    assert report.offered == (
+        len(report.completed) + len(report.failed) + len(report.shed)
+    )

@@ -160,12 +160,52 @@ def serve1_summary() -> dict:
     return summary
 
 
+def serve2_summary() -> dict:
+    """Resilience-scenario accounting under overload (serve2).
+
+    Pins the five protection configurations of the serve2 experiment:
+    p99, goodput and the full shed/hedge/degraded decomposition per
+    scenario.  This is the regression contract for the resilience
+    layer — any change to admission, breaker, hedging or brownout
+    mechanics that shifts the comparison fails here, with the serve1
+    golden simultaneously guaranteeing the all-mechanisms-off
+    simulator did not move.
+    """
+    from repro.experiments.serve2_resilience import _run_scenarios
+    from repro.serving.slo import percentile
+
+    summary: dict = {}
+    for label, report, slo in _run_scenarios():
+        latencies = [record.latency_s for record in report.completed]
+        stats = report.resilience
+        summary[label] = {
+            "p50_s": percentile(latencies, 50.0),
+            "p99_s": percentile(latencies, 99.0),
+            "goodput": slo.goodput,
+            "completed": float(len(report.completed)),
+            "failed": float(len(report.failed)),
+            "shed": float(len(report.shed)),
+            "hedges_launched": float(stats.hedges_launched),
+            "hedge_wins": float(stats.hedge_wins),
+            "hedge_wasted_s": stats.hedge_wasted_s,
+            "breaker_opens": float(stats.breaker_opens),
+            "degraded": float(stats.degraded_completions),
+            "quality_debt": slo.quality_debt,
+            "rung_completions": {
+                str(rung): float(count)
+                for rung, count in enumerate(stats.rung_completions)
+            },
+        }
+    return summary
+
+
 GOLDEN_SUMMARIES: dict[str, Callable[[], dict]] = {
     "table1": table1_summary,
     "table2": table2_summary,
     "fig06_shares": fig6_summary,
     "dist1": dist1_summary,
     "serve1": serve1_summary,
+    "serve2": serve2_summary,
 }
 
 

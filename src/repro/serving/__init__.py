@@ -42,6 +42,17 @@ from repro.serving.policies import (
     ShortestJobFirst,
     policy_from_name,
 )
+from repro.serving.resilience import (
+    RESILIENCE_OFF,
+    AdmissionConfig,
+    BrownoutConfig,
+    CircuitBreakerConfig,
+    DegradedRung,
+    HedgeConfig,
+    ResilienceConfig,
+    ResilienceStats,
+    ShedRequest,
+)
 from repro.serving.queueing import (
     CompletedRequest,
     QueueReport,
@@ -66,25 +77,34 @@ from repro.serving.workload import (
 )
 
 __all__ = [
+    "AdmissionConfig",
     "AutoscalerConfig",
     "BatchRecord",
+    "BrownoutConfig",
+    "CircuitBreakerConfig",
     "CompletedRequest",
     "Crash",
+    "DegradedRung",
     "FAULT_FREE",
     "FailedRequest",
     "FaultSchedule",
     "FifoPolicy",
     "FleetCompletion",
     "FleetReport",
+    "HedgeConfig",
     "ModelAffinityPolicy",
     "ModelSlo",
     "NO_RETRIES",
     "PoolSpec",
     "PoolStats",
     "QueueReport",
+    "RESILIENCE_OFF",
     "Request",
+    "ResilienceConfig",
+    "ResilienceStats",
     "RetryPolicy",
     "ShardedReplica",
+    "ShedRequest",
     "ShortestJobFirst",
     "SloReport",
     "Straggler",

@@ -89,29 +89,86 @@ class Straggler:
 class RetryPolicy:
     """What happens to requests caught in a fault or a deep queue.
 
+    The defaults (``multiplier=1.0``, ``jitter=0.0``) reproduce the
+    original fixed-backoff behaviour exactly — recorded golden traces
+    only change where a scenario opts into exponential backoff or
+    jitter.
+
     Attributes:
         max_retries: additional attempts after the first (0 = fail on
             first fault).
-        backoff_s: fixed delay before a retried request re-enters the
+        backoff_s: base delay before a retried request re-enters the
             queue (client backoff).
         timeout_s: maximum queueing delay before a request abandons its
             attempt; ``None`` disables queue timeouts.
+        multiplier: exponential growth factor per failed attempt; the
+            n-th failure backs off ``backoff_s * multiplier**(n-1)``.
+        max_backoff_s: cap on any single backoff delay (``None`` =
+            uncapped).
+        jitter: in ``[0, 1]`` — blend weight of deterministic
+            decorrelated jitter (seeded from the request id, so the
+            reproducibility contract survives): 0 is the pure
+            exponential schedule, 1 is pure decorrelated jitter.
     """
 
     max_retries: int = 2
     backoff_s: float = 1.0
     timeout_s: float | None = None
+    multiplier: float = 1.0
+    max_backoff_s: float | None = None
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0 or self.backoff_s < 0:
             raise ValueError("invalid retry policy")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout must be positive when set")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_backoff_s is not None and self.max_backoff_s <= 0:
+            raise ValueError("max_backoff_s must be positive when set")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
 
     @property
     def max_attempts(self) -> int:
         """Total tries a request gets (first attempt + retries)."""
         return self.max_retries + 1
+
+    def backoff_for(self, failures: int, request_id: int) -> float:
+        """Backoff before the attempt following failure ``failures``.
+
+        Deterministic: the jitter stream is seeded from the request id
+        alone, so a request backs off identically across runs (and
+        across unrelated schedule changes — the draws of one request
+        never perturb another's).  The jittered delay follows the
+        decorrelated-jitter recursion ``d_n = uniform(base, 3 *
+        d_{n-1})`` capped at ``max_backoff_s``; the returned delay is
+        the ``jitter``-weighted blend of the exponential schedule and
+        that draw.  With the defaults this returns ``backoff_s``
+        bit-exactly.
+        """
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        cap = (
+            self.max_backoff_s if self.max_backoff_s is not None
+            else float("inf")
+        )
+        base = min(cap, self.backoff_s * self.multiplier ** (failures - 1))
+        if self.jitter == 0.0 or self.backoff_s == 0.0:
+            return base
+        # Tuple-of-ints seeds hash deterministically (PYTHONHASHSEED
+        # only salts str/bytes), so this is stable across processes.
+        rng = random.Random(0x5F3759DF ^ (request_id * 0x9E3779B97F4A7C15))
+        delay = self.backoff_s
+        for _ in range(failures):
+            delay = min(
+                cap,
+                rng.uniform(
+                    self.backoff_s, max(self.backoff_s, 3.0 * delay)
+                ),
+            )
+        return (1.0 - self.jitter) * base + self.jitter * delay
 
 
 NO_RETRIES = RetryPolicy(max_retries=0, backoff_s=0.0, timeout_s=None)
@@ -191,11 +248,14 @@ def generate_faults(
                 clock += rng.expovariate(crash_rate_per_hour / 3600.0)
                 if clock >= duration_s:
                     break
-                downtime = rng.expovariate(1.0 / mean_downtime_s)
+                # Advance the clock by the *stored* (clamped) downtime:
+                # the next crash draw starts after the recovery window
+                # the simulator will actually observe, so consecutive
+                # crashes on one server can never overlap.
+                downtime = max(rng.expovariate(1.0 / mean_downtime_s), 1.0)
                 crashes.append(
                     Crash(
-                        server=server, at_s=clock,
-                        downtime_s=max(downtime, 1.0),
+                        server=server, at_s=clock, downtime_s=downtime,
                     )
                 )
                 clock += downtime
@@ -206,11 +266,11 @@ def generate_faults(
                 clock += rng.expovariate(straggler_rate_per_hour / 3600.0)
                 if clock >= duration_s:
                     break
-                window = rng.expovariate(1.0 / mean_straggler_s)
+                window = max(rng.expovariate(1.0 / mean_straggler_s), 1.0)
                 stragglers.append(
                     Straggler(
                         server=server, at_s=clock,
-                        duration_s=max(window, 1.0), slowdown=slowdown,
+                        duration_s=window, slowdown=slowdown,
                     )
                 )
                 clock += window

@@ -50,6 +50,12 @@ from repro.serving.faults import (
     RetryPolicy,
 )
 from repro.serving.policies import FifoPolicy, SchedulingPolicy
+from repro.serving.resilience import (
+    RESILIENCE_OFF,
+    ResilienceConfig,
+    ResilienceStats,
+    ShedRequest,
+)
 from repro.serving.workload import Request
 
 
@@ -223,7 +229,12 @@ class AutoscalerConfig:
 
 @dataclass(frozen=True)
 class FleetCompletion:
-    """One successfully served request with its fleet timeline."""
+    """One successfully served request with its fleet timeline.
+
+    ``hedged`` marks requests that had a duplicate copy in flight;
+    ``rung``/``quality`` record the brownout rung the winning batch
+    was served at (0 / 1.0 = nominal quality).
+    """
 
     request: Request
     pool: str
@@ -232,6 +243,9 @@ class FleetCompletion:
     start_s: float
     finish_s: float
     attempts: int
+    hedged: bool = False
+    rung: int = 0
+    quality: float = 1.0
 
     @property
     def latency_s(self) -> float:
@@ -279,6 +293,7 @@ class PoolStats:
     down_s: float
     capacity_s: float
     swaps: int
+    shed: int = 0
 
     @property
     def utilization(self) -> float:
@@ -290,13 +305,19 @@ class PoolStats:
 
 @dataclass(frozen=True)
 class FleetReport:
-    """Everything a fleet simulation produced."""
+    """Everything a fleet simulation produced.
+
+    Every offered request reaches exactly one terminal state:
+    ``offered == len(completed) + len(failed) + len(shed)``.
+    """
 
     completed: tuple[FleetCompletion, ...]
     failed: tuple[FailedRequest, ...]
     pools: tuple[PoolStats, ...]
     makespan_s: float
     offered: int
+    shed: tuple[ShedRequest, ...] = ()
+    resilience: ResilienceStats = ResilienceStats()
 
     @property
     def completion_rate(self) -> float:
@@ -310,6 +331,13 @@ class FleetReport:
         """Completed requests that needed more than one attempt."""
         return sum(1 for record in self.completed if record.retried)
 
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests rejected by admission."""
+        if self.offered == 0:
+            return 0.0
+        return len(self.shed) / self.offered
+
     def pool_stats(self, name: str) -> PoolStats:
         """Stats for one pool by name."""
         for stats in self.pools:
@@ -319,14 +347,18 @@ class FleetReport:
 
 
 class _Queued:
-    """Mutable queue entry: one attempt of one request.
+    """Mutable queue entry: one copy of one request.
 
     ``token`` increments on every enqueue so timeout events scheduled
-    for an earlier attempt cannot abandon a later one.
+    for an earlier attempt cannot abandon a later one.  Hedging links
+    the two copies of a request through ``twin``: ``done`` marks the
+    terminal copy (completed/failed/shed), ``cancelled`` the losing
+    copy, which is skipped everywhere it still appears.
     """
 
     __slots__ = (
         "request", "attempts", "queued_since_s", "in_queue", "token",
+        "pool", "twin", "is_hedge", "cancelled", "done",
     )
 
     def __init__(
@@ -337,6 +369,36 @@ class _Queued:
         self.queued_since_s = queued_since_s
         self.in_queue = False
         self.token = 0
+        self.pool: "_Pool | None" = None
+        self.twin: "_Queued | None" = None
+        self.is_hedge = False
+        self.cancelled = False
+        self.done = False
+
+
+class _Breaker:
+    """Mutable per-server circuit-breaker state machine."""
+
+    __slots__ = (
+        "state", "failures", "opened_at", "probe_in_flight", "opens",
+        "open_s",
+    )
+
+    def __init__(self) -> None:
+        self.state = "closed"
+        self.failures: list[float] = []
+        self.opened_at = 0.0
+        self.probe_in_flight = False
+        self.opens = 0
+        self.open_s = 0.0
+
+    def allows(self) -> bool:
+        """May the server take a batch under this breaker state?"""
+        if self.state == "closed":
+            return True
+        if self.state == "half_open":
+            return not self.probe_in_flight
+        return False
 
 
 class _Server:
@@ -346,6 +408,7 @@ class _Server:
         "sid", "pool", "alive", "active", "activated_at", "active_s",
         "down_since", "down_s", "busy_s", "wasted_s", "last_model",
         "generation", "batch", "batch_start", "batch_model", "swaps",
+        "breaker", "batch_nominal", "batch_rung",
     )
 
     def __init__(self, sid: int, pool: "_Pool", active: bool):
@@ -365,11 +428,17 @@ class _Server:
         self.batch_start = 0.0
         self.batch_model = ""
         self.swaps = 0
+        self.breaker: _Breaker | None = None
+        self.batch_nominal = 0.0
+        self.batch_rung = 0
 
     @property
     def free(self) -> bool:
         """Can this server take a batch right now?"""
-        return self.alive and self.active and self.batch is None
+        return (
+            self.alive and self.active and self.batch is None
+            and (self.breaker is None or self.breaker.allows())
+        )
 
 
 class _Pool:
@@ -377,7 +446,7 @@ class _Pool:
 
     __slots__ = (
         "spec", "queue", "servers", "last_scale_at", "peak_servers",
-        "pending_activations",
+        "pending_activations", "rung", "last_rung_change",
     )
 
     def __init__(self, spec: PoolSpec):
@@ -387,6 +456,8 @@ class _Pool:
         self.last_scale_at = float("-inf")
         self.peak_servers = spec.servers
         self.pending_activations = 0
+        self.rung = 0
+        self.last_rung_change = float("-inf")
 
     @property
     def active_count(self) -> int:
@@ -413,6 +484,7 @@ def simulate_fleet(
     retry: RetryPolicy = NO_RETRIES,
     faults: FaultSchedule = FAULT_FREE,
     autoscaler: AutoscalerConfig | None = None,
+    resilience: ResilienceConfig = RESILIENCE_OFF,
 ) -> FleetReport:
     """Run the fleet discrete-event simulation to completion.
 
@@ -420,8 +492,10 @@ def simulate_fleet(
     servers first, then the pool's standby (autoscaling) servers — so a
     :class:`~repro.serving.faults.FaultSchedule` can target "server 2
     of the first pool" stably.  The simulation is deterministic: same
-    requests, pools, retry policy, fault schedule and autoscaler config
-    produce an identical :class:`FleetReport`.
+    requests, pools, retry policy, fault schedule, autoscaler and
+    resilience config produce an identical :class:`FleetReport`; with
+    :data:`~repro.serving.resilience.RESILIENCE_OFF` (the default) the
+    event sequence is identical to the pre-resilience simulator.
     """
     if not pools:
         raise ValueError("need at least one pool")
@@ -430,7 +504,7 @@ def simulate_fleet(
         raise ValueError("pool names must be unique")
     for spec in pools:
         machine_from_name(spec.machine)  # validate early
-    state = _FleetState(pools, retry, faults, autoscaler)
+    state = _FleetState(pools, retry, faults, autoscaler, resilience)
     return state.run(requests)
 
 
@@ -443,9 +517,11 @@ class _FleetState:
         retry: RetryPolicy,
         faults: FaultSchedule,
         autoscaler: AutoscalerConfig | None,
+        resilience: ResilienceConfig = RESILIENCE_OFF,
     ):
         self.retry = retry
         self.autoscaler = autoscaler
+        self.res = resilience
         self.pools = [_Pool(spec) for spec in pools]
         self.servers: list[_Server] = []
         for pool in self.pools:
@@ -456,6 +532,8 @@ class _FleetState:
                     len(self.servers), pool,
                     active=index < pool.spec.servers,
                 )
+                if resilience.breaker is not None:
+                    server.breaker = _Breaker()
                 pool.servers.append(server)
                 self.servers.append(server)
         self.faults = faults
@@ -463,7 +541,25 @@ class _FleetState:
         self.seq = 0
         self.completed: list[FleetCompletion] = []
         self.failed: list[FailedRequest] = []
+        self.shed: list[ShedRequest] = []
         self.last_arrival = 0.0
+        # Admission token bucket (arrivals only).
+        admission = resilience.admission
+        self.bucket_tokens = (
+            admission.burst if admission is not None else 0.0
+        )
+        self.bucket_last = 0.0
+        # Hedging: latency samples per model feed the running quantile.
+        self.latency_samples: dict[str, list[float]] = {}
+        self.hedges_launched = 0
+        self.hedge_wins = 0
+        self.hedge_wasted_s = 0.0
+        # Brownout: completions per rung (index 0 = nominal).
+        ladder = resilience.brownout
+        self.rung_completions = [0] * (
+            1 + (len(ladder.rungs) if ladder is not None else 0)
+        )
+        self.rung_changes = 0
 
     def push(self, time: float, kind: str, payload: object) -> None:
         """Schedule one event (stable FIFO order at equal times)."""
@@ -481,14 +577,40 @@ class _FleetState:
                 self.push(crash.at_s, "crash", crash)
         if self.autoscaler is not None:
             self.push(self.autoscaler.check_interval_s, "tick", None)
+        if self.res.brownout is not None:
+            self.push(
+                self.res.brownout.check_interval_s, "brownout", None
+            )
         while self.heap:
             now, _, kind, payload = heapq.heappop(self.heap)
             getattr(self, f"_on_{kind}")(now, payload)
         makespan = max(
             [record.finish_s for record in self.completed]
             + [record.failed_at_s for record in self.failed]
+            + [record.shed_at_s for record in self.shed]
             + [self.last_arrival],
             default=0.0,
+        )
+        breaker_open_s = 0.0
+        breaker_opens = 0
+        for server in self.servers:
+            if server.breaker is None:
+                continue
+            breaker_opens += server.breaker.opens
+            breaker_open_s += server.breaker.open_s
+            if server.breaker.state == "open":
+                breaker_open_s += max(
+                    0.0, makespan - server.breaker.opened_at
+                )
+        stats = ResilienceStats(
+            shed=len(self.shed),
+            hedges_launched=self.hedges_launched,
+            hedge_wins=self.hedge_wins,
+            hedge_wasted_s=self.hedge_wasted_s,
+            breaker_opens=breaker_opens,
+            breaker_open_s=breaker_open_s,
+            rung_completions=tuple(self.rung_completions),
+            rung_changes=self.rung_changes,
         )
         return FleetReport(
             completed=tuple(
@@ -502,6 +624,8 @@ class _FleetState:
             ),
             makespan_s=makespan,
             offered=offered,
+            shed=tuple(sorted(self.shed, key=lambda s: s.shed_at_s)),
+            resilience=stats,
         )
 
     # -- event handlers ------------------------------------------------
@@ -509,8 +633,17 @@ class _FleetState:
     def _on_arrival(self, now: float, request: Request) -> None:
         entry = _Queued(request, attempts=1, queued_since_s=now)
         self._enqueue(now, entry)
+        if (
+            self.res.hedge is not None
+            and not entry.done  # admitted, not shed/unroutable
+        ):
+            delay = self._hedge_delay(request.model)
+            if delay is not None:
+                self.push(now + delay, "hedge", entry)
 
     def _on_retry(self, now: float, entry: _Queued) -> None:
+        if entry.cancelled or entry.done:
+            return  # the other copy already settled this request
         entry.queued_since_s = now
         self._enqueue(now, entry)
 
@@ -518,8 +651,19 @@ class _FleetState:
         server, generation = payload  # type: ignore[misc]
         if server.generation != generation or server.batch is None:
             return  # aborted by a crash
-        server.busy_s += now - server.batch_start
+        duration = now - server.batch_start
+        server.busy_s += duration
         for entry in server.batch:
+            if entry.cancelled:
+                # The losing hedge copy: its share of the batch was
+                # wasted work, not a completion.
+                self.hedge_wasted_s += duration / len(server.batch)
+                continue
+            entry.done = True
+            rung = server.batch_rung
+            self.rung_completions[rung] += 1
+            if entry.twin is not None and entry.is_hedge:
+                self.hedge_wins += 1
             self.completed.append(
                 FleetCompletion(
                     request=entry.request,
@@ -529,8 +673,22 @@ class _FleetState:
                     start_s=server.batch_start,
                     finish_s=now,
                     attempts=entry.attempts,
+                    hedged=entry.twin is not None,
+                    rung=rung,
+                    quality=(
+                        1.0 if rung == 0
+                        else self.res.brownout.rungs[rung - 1].quality
+                    ),
                 )
             )
+            if entry.twin is not None:
+                self._cancel(entry.twin)
+            if self.res.hedge is not None:
+                self.latency_samples.setdefault(
+                    entry.request.model, []
+                ).append(now - entry.request.arrival_s)
+        if server.breaker is not None:
+            self._observe_batch(server, now, duration)
         server.last_model = server.batch_model
         server.batch = None
         self._dispatch(server.pool, now)
@@ -545,11 +703,15 @@ class _FleetState:
         if server.batch is not None:
             server.wasted_s += now - server.batch_start
             for entry in server.batch:
+                if entry.cancelled:
+                    continue  # the losing hedge copy dies quietly
                 self._retry_or_fail(
                     now, entry, reason="crash",
                     pool=server.pool.spec.name,
                 )
             server.batch = None
+        if server.breaker is not None:
+            self._breaker_failure(server, now)
         self.push(crash.recover_s, "recover", server)
 
     def _on_recover(self, now: float, server: _Server) -> None:
@@ -625,6 +787,63 @@ class _FleetState:
         if pending:
             self.push(now + config.check_interval_s, "tick", None)
 
+    def _on_hedge(self, now: float, entry: _Queued) -> None:
+        if entry.done or entry.cancelled or entry.twin is not None:
+            return  # already finished, or already hedged
+        pool = self._route_hedge(entry)
+        if pool is None:
+            return
+        copy = _Queued(
+            entry.request, attempts=entry.attempts, queued_since_s=now
+        )
+        copy.is_hedge = True
+        copy.twin = entry
+        entry.twin = copy
+        self.hedges_launched += 1
+        self._place(now, copy, pool)
+
+    def _on_probe(self, now: float, server: _Server) -> None:
+        breaker = server.breaker
+        assert breaker is not None
+        # A stale probe event from an earlier open cycle fires before
+        # the current cooldown has elapsed; the current cycle pushed
+        # its own probe event, so ignore this one.
+        if breaker.state != "open":
+            return
+        if now < breaker.opened_at + self.res.breaker.cooldown_s - 1e-12:
+            return
+        breaker.state = "half_open"
+        breaker.probe_in_flight = False
+        breaker.open_s += now - breaker.opened_at
+        self._dispatch(server.pool, now)
+
+    def _on_brownout(self, now: float, _payload: object) -> None:
+        config = self.res.brownout
+        assert config is not None
+        for pool in self.pools:
+            backlog = len(pool.queue) / max(1, pool.active_count)
+            if now - pool.last_rung_change < config.dwell_s:
+                continue
+            if (
+                backlog >= config.step_down_backlog
+                and pool.rung < len(config.rungs)
+            ):
+                pool.rung += 1
+                pool.last_rung_change = now
+                self.rung_changes += 1
+            elif backlog <= config.step_up_backlog and pool.rung > 0:
+                pool.rung -= 1
+                pool.last_rung_change = now
+                self.rung_changes += 1
+        pending = (
+            any(pool.queue for pool in self.pools)
+            or any(server.batch is not None for server in self.servers)
+            or any(pool.rung > 0 for pool in self.pools)
+            or now < self.last_arrival
+        )
+        if pending:
+            self.push(now + config.check_interval_s, "brownout", None)
+
     # -- mechanics -----------------------------------------------------
 
     def _route(self, request: Request) -> _Pool | None:
@@ -637,6 +856,15 @@ class _FleetState:
         return min(eligible, key=lambda pool: pool.load())
 
     def _enqueue(self, now: float, entry: _Queued) -> None:
+        admission = self.res.admission
+        if (
+            admission is not None
+            and admission.rate_per_s is not None
+            and entry.attempts == 1
+            and not self._bucket_admits(now)
+        ):
+            self._shed(now, entry, reason="shed-rate", pool="")
+            return
         pool = self._route(entry.request)
         if pool is None:
             self.failed.append(
@@ -645,9 +873,30 @@ class _FleetState:
                     reason="unroutable", failed_at_s=now,
                 )
             )
+            entry.done = True
             return
+        if admission is not None:
+            name = pool.spec.name
+            if (
+                admission.max_queue_depth is not None
+                and len(pool.queue) >= admission.max_queue_depth
+            ):
+                self._shed(now, entry, reason="shed-depth", pool=name)
+                return
+            budget = admission.budget_for(entry.request.model)
+            if budget is not None:
+                estimate = pool.load() * self._latency_fn(
+                    pool, entry.request.model
+                )(1)
+                if estimate > budget:
+                    self._shed(now, entry, reason="shed-wait", pool=name)
+                    return
+        self._place(now, entry, pool)
+
+    def _place(self, now: float, entry: _Queued, pool: _Pool) -> None:
         entry.in_queue = True
         entry.token += 1
+        entry.pool = pool
         pool.queue.append(entry)
         if self.retry.timeout_s is not None:
             self.push(
@@ -656,10 +905,147 @@ class _FleetState:
             )
         self._dispatch(pool, now)
 
+    def _bucket_admits(self, now: float) -> bool:
+        admission = self.res.admission
+        assert admission is not None and admission.rate_per_s is not None
+        self.bucket_tokens = min(
+            admission.burst,
+            self.bucket_tokens
+            + (now - self.bucket_last) * admission.rate_per_s,
+        )
+        self.bucket_last = now
+        if self.bucket_tokens < 1.0:
+            return False
+        self.bucket_tokens -= 1.0
+        return True
+
+    def _shed(
+        self, now: float, entry: _Queued, *, reason: str, pool: str
+    ) -> None:
+        if self._twin_alive(entry):
+            entry.cancelled = True  # the hedge copy carries on
+            return
+        entry.done = True
+        self.shed.append(
+            ShedRequest(
+                request=entry.request, pool=pool,
+                attempts=entry.attempts, reason=reason, shed_at_s=now,
+            )
+        )
+
+    def _twin_alive(self, entry: _Queued) -> bool:
+        twin = entry.twin
+        return (
+            twin is not None and not twin.done and not twin.cancelled
+        )
+
+    def _cancel(self, entry: _Queued) -> None:
+        entry.cancelled = True
+        if entry.in_queue:
+            entry.in_queue = False
+            if entry.pool is not None:
+                entry.pool.queue.remove(entry)
+
+    def _hedge_delay(self, model: str) -> float | None:
+        config = self.res.hedge
+        assert config is not None
+        if config.delay_s is not None:
+            return config.delay_s
+        samples = self.latency_samples.get(model, ())
+        if len(samples) < config.min_samples:
+            return None
+        ordered = sorted(samples)
+        index = max(
+            0,
+            min(
+                len(ordered) - 1,
+                round(config.quantile / 100.0 * len(ordered)) - 1,
+            ),
+        )
+        return ordered[index]
+
+    def _route_hedge(self, entry: _Queued) -> _Pool | None:
+        """The hedge target: a different pool when one is eligible."""
+        eligible = [
+            pool for pool in self.pools
+            if entry.request.model in pool.spec.latency_fns
+        ]
+        others = [pool for pool in eligible if pool is not entry.pool]
+        candidates = others or eligible
+        if not candidates:
+            return None
+        return min(candidates, key=lambda pool: pool.load())
+
+    def _latency_fn(self, pool: _Pool, model: str) -> BatchLatencyFn:
+        """The latency curve at the pool's current brownout rung."""
+        if self.res.brownout is not None and pool.rung > 0:
+            fn = self.res.brownout.rungs[pool.rung - 1].latency_fns.get(
+                model
+            )
+            if fn is not None:
+                return fn
+        return pool.spec.latency_fns[model]
+
+    def _rung_for(self, pool: _Pool, model: str) -> int:
+        """The rung a launch of ``model`` is actually degraded to."""
+        if self.res.brownout is not None and pool.rung > 0:
+            rungs = self.res.brownout.rungs
+            if model in rungs[pool.rung - 1].latency_fns:
+                return pool.rung
+        return 0
+
+    def _observe_batch(
+        self, server: _Server, now: float, duration: float
+    ) -> None:
+        """Feed a completed batch's outcome to the server's breaker."""
+        breaker = server.breaker
+        config = self.res.breaker
+        assert breaker is not None and config is not None
+        slow = (
+            config.slow_factor is not None
+            and server.batch_nominal > 0.0
+            and duration > config.slow_factor * server.batch_nominal
+        )
+        if slow:
+            self._breaker_failure(server, now)
+        elif breaker.state == "half_open":
+            # The probe came back clean: close and forget history.
+            breaker.state = "closed"
+            breaker.probe_in_flight = False
+            breaker.failures.clear()
+
+    def _breaker_failure(self, server: _Server, now: float) -> None:
+        breaker = server.breaker
+        config = self.res.breaker
+        assert breaker is not None and config is not None
+        breaker.failures = [
+            at for at in breaker.failures if at > now - config.window_s
+        ]
+        breaker.failures.append(now)
+        tripped = (
+            breaker.state == "half_open"
+            or (
+                breaker.state == "closed"
+                and len(breaker.failures) >= config.failure_threshold
+            )
+        )
+        if tripped:
+            breaker.state = "open"
+            breaker.opened_at = now
+            breaker.opens += 1
+            breaker.probe_in_flight = False
+            self.push(now + config.cooldown_s, "probe", server)
+
     def _retry_or_fail(
         self, now: float, entry: _Queued, *, reason: str, pool: str
     ) -> None:
+        if entry.cancelled or entry.done:
+            return
         if entry.attempts >= self.retry.max_attempts:
+            if self._twin_alive(entry):
+                entry.cancelled = True  # the other copy is still trying
+                return
+            entry.done = True
             self.failed.append(
                 FailedRequest(
                     request=entry.request, pool=pool,
@@ -668,8 +1054,11 @@ class _FleetState:
                 )
             )
             return
+        backoff = self.retry.backoff_for(
+            entry.attempts, entry.request.request_id
+        )
         entry.attempts += 1
-        self.push(now + self.retry.backoff_s, "retry", entry)
+        self.push(now + backoff, "retry", entry)
 
     def _dispatch(self, pool: _Pool, now: float) -> None:
         while pool.queue:
@@ -697,17 +1086,25 @@ class _FleetState:
                 pool.queue.pop(index)
             for entry in batch:
                 entry.in_queue = False
-            latency = pool.spec.latency_fns[model](len(batch))
-            latency *= self._straggler_factor(server, now)
+            nominal = self._latency_fn(pool, model)(len(batch))
+            latency = nominal * self._straggler_factor(server, now)
             if (
                 server.last_model is not None
                 and server.last_model != model
             ):
                 latency += pool.spec.swap_cost_s
+                nominal += pool.spec.swap_cost_s
                 server.swaps += 1
             server.batch = batch
             server.batch_start = now
             server.batch_model = model
+            server.batch_nominal = nominal
+            server.batch_rung = self._rung_for(pool, model)
+            if (
+                server.breaker is not None
+                and server.breaker.state == "half_open"
+            ):
+                server.breaker.probe_in_flight = True
             self.push(
                 now + latency, "free", (server, server.generation)
             )
@@ -731,6 +1128,9 @@ class _FleetState:
             1 for record in self.completed
             if record.pool == pool.spec.name
         )
+        shed = sum(
+            1 for record in self.shed if record.pool == pool.spec.name
+        )
         for server in pool.servers:
             server_down = server.down_s
             if server.down_since is not None:
@@ -751,4 +1151,5 @@ class _FleetState:
             down_s=down,
             capacity_s=capacity,
             swaps=swaps,
+            shed=shed,
         )

@@ -65,11 +65,23 @@ class SchedulingPolicy(Protocol):
 def _same_model_indices(
     queue: Sequence[QueueView], model: str, max_batch: int
 ) -> list[int]:
-    picked = [
-        index for index, entry in enumerate(queue)
-        if entry.request.model == model
-    ]
-    return picked[:max_batch]
+    # One slot per request id: hedging can queue two copies of the
+    # same request in one pool, and co-scheduling them in one batch
+    # would defeat the hedge (both copies would share every fault and
+    # finish together).  Without hedging ids are unique, so this is
+    # exactly the old first-``max_batch`` FIFO pick.
+    picked: list[int] = []
+    seen: set[int] = set()
+    for index, entry in enumerate(queue):
+        if len(picked) == max_batch:
+            break
+        if entry.request.model != model:
+            continue
+        if entry.request.request_id in seen:
+            continue
+        seen.add(entry.request.request_id)
+        picked.append(index)
+    return picked
 
 
 class FifoPolicy:

@@ -6,16 +6,25 @@ on-call serving team is paged on.  Formulas (documented here and in
 
 * **pN latency** — nearest-rank percentile over client-observed
   latencies (arrival to final completion, retries and backoff
-  included).
+  included).  A model with no completions reports ``None`` (rendered
+  ``—``), never a fake 0.00 s.
 * **Queueing vs service** — per completion, ``service`` is the final
   attempt's GPU time and ``queueing`` is everything else (queue waits,
   lost attempts, backoff); means are reported per model.
 * **Goodput** — fraction of *offered* requests (per model: completed +
-  failed) that completed within their deadline.  Failures therefore
-  count against goodput even though they have no latency sample.
+  failed + shed) that completed within their deadline.  Failures and
+  admission sheds therefore count against goodput even though they
+  have no latency sample.
 * **Violation seconds** — ``sum(max(0, latency - deadline))`` over
   completions: total excess latency experienced by clients, the
   integral an error-budget burn is computed from.
+* **Error-budget burn rate** — ``(1 - goodput) / (1 - objective)``:
+  how many times faster than sustainable the SLO budget is being
+  spent (1.0 = exactly on budget).
+* **Degradation accounting** — ``shed``/``hedged``/``degraded`` counts
+  per model, plus **quality debt**: ``sum(1 - rung quality)`` over
+  degraded completions — the quality a brownout traded for its
+  latency.
 * **Availability** — ``1 - down / (capacity + down)`` over all pools:
   the fraction of scheduled server-seconds servers were actually up.
 """
@@ -29,17 +38,27 @@ from repro.reporting.table import render_table
 from repro.serving.fleet import FleetReport
 
 
-def percentile(values: list[float], p: float) -> float:
-    """Nearest-rank percentile; 0.0 for an empty sample."""
+def percentile(values: list[float], p: float) -> float | None:
+    """Nearest-rank percentile; ``None`` for an empty sample.
+
+    ``None`` (not 0.0) distinguishes "no completions to measure" from
+    a true zero-latency sample — an all-failed model must not report
+    a perfect p99.
+    """
     if not 0.0 < p <= 100.0:
         raise ValueError("percentile must be in (0, 100]")
     if not values:
-        return 0.0
+        return None
     ordered = sorted(values)
     index = max(
         0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1)
     )
     return ordered[index]
+
+
+def _fmt(value: float | None, spec: str = ".2f") -> str:
+    """Render a possibly-missing sample; ``—`` means "no data"."""
+    return "—" if value is None else format(value, spec)
 
 
 @dataclass(frozen=True)
@@ -50,18 +69,22 @@ class ModelSlo:
     deadline_s: float
     completed: int
     failed: int
-    p50_s: float
-    p95_s: float
-    p99_s: float
+    p50_s: float | None
+    p95_s: float | None
+    p99_s: float | None
     mean_queueing_s: float
     mean_service_s: float
     within_deadline: int
     violation_s: float
+    shed: int = 0
+    hedged: int = 0
+    degraded: int = 0
+    quality_debt: float = 0.0
 
     @property
     def offered(self) -> int:
         """Requests that reached a terminal state for this model."""
-        return self.completed + self.failed
+        return self.completed + self.failed + self.shed
 
     @property
     def goodput(self) -> float:
@@ -69,6 +92,12 @@ class ModelSlo:
         if self.offered == 0:
             return 0.0
         return self.within_deadline / self.offered
+
+    def burn_rate(self, objective: float = 0.999) -> float:
+        """Error-budget burn relative to a goodput objective."""
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        return (1.0 - self.goodput) / (1.0 - objective)
 
 
 @dataclass(frozen=True)
@@ -98,6 +127,32 @@ class SloReport:
         """Requests that exhausted their attempts, fleet-wide."""
         return sum(model.failed for model in self.per_model)
 
+    @property
+    def shed(self) -> int:
+        """Requests rejected by admission control, fleet-wide."""
+        return sum(model.shed for model in self.per_model)
+
+    @property
+    def degraded(self) -> int:
+        """Completions served below nominal quality, fleet-wide."""
+        return sum(model.degraded for model in self.per_model)
+
+    @property
+    def quality_debt(self) -> float:
+        """Total ``1 - quality`` over degraded completions."""
+        return sum(model.quality_debt for model in self.per_model)
+
+    def burn_rate(self, objective: float = 0.999) -> float:
+        """Fleet-wide error-budget burn against a goodput objective.
+
+        1.0 means the fleet spends its error budget exactly as fast
+        as the objective allows; 10.0 means the budget is gone in a
+        tenth of the window.
+        """
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        return (1.0 - self.goodput) / (1.0 - objective)
+
     def model(self, name: str) -> ModelSlo:
         """Per-model accounting by model name."""
         for entry in self.per_model:
@@ -111,13 +166,16 @@ class SloReport:
             [
                 entry.model,
                 entry.offered,
-                f"{entry.p50_s:.2f}",
-                f"{entry.p95_s:.2f}",
-                f"{entry.p99_s:.2f}",
+                _fmt(entry.p50_s),
+                _fmt(entry.p95_s),
+                _fmt(entry.p99_s),
                 f"{entry.mean_queueing_s:.2f}",
                 f"{entry.mean_service_s:.2f}",
                 f"{entry.goodput * 100:.1f}%",
                 f"{entry.violation_s:.1f}",
+                entry.shed,
+                entry.degraded,
+                f"{entry.quality_debt:.1f}",
             ]
             for entry in self.per_model
         ]
@@ -125,6 +183,7 @@ class SloReport:
             [
                 "model", "offered", "p50 s", "p95 s", "p99 s",
                 "queue s", "service s", "goodput", "violation s",
+                "shed", "degraded", "debt",
             ],
             rows,
             title=(
@@ -146,6 +205,7 @@ def slo_report(
     models = sorted(
         {record.request.model for record in report.completed}
         | {record.request.model for record in report.failed}
+        | {record.request.model for record in report.shed}
     )
 
     def deadline_for(model: str) -> float:
@@ -173,6 +233,10 @@ def slo_report(
             1 for record in report.failed
             if record.request.model == model
         )
+        sheds = sum(
+            1 for record in report.shed
+            if record.request.model == model
+        )
         latencies = [record.latency_s for record in completions]
         count = len(completions)
         per_model.append(
@@ -197,6 +261,12 @@ def slo_report(
                 ),
                 violation_s=sum(
                     max(0.0, value - deadline) for value in latencies
+                ),
+                shed=sheds,
+                hedged=sum(1 for r in completions if r.hedged),
+                degraded=sum(1 for r in completions if r.rung > 0),
+                quality_debt=sum(
+                    1.0 - r.quality for r in completions if r.rung > 0
                 ),
             )
         )

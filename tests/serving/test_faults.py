@@ -47,6 +47,62 @@ class TestRetryPolicy:
             RetryPolicy(max_retries=-1)
         with pytest.raises(ValueError):
             RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_backoff_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestBackoff:
+    def test_defaults_are_bit_exact_fixed_backoff(self):
+        # Golden traces recorded before exponential backoff existed
+        # must not move: at the defaults every failure backs off by
+        # exactly backoff_s.
+        policy = RetryPolicy(backoff_s=0.7)
+        for failures in (1, 2, 5):
+            assert policy.backoff_for(failures, request_id=9) == 0.7
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            max_retries=6, backoff_s=1.0, multiplier=2.0,
+            max_backoff_s=5.0,
+        )
+        delays = [
+            policy.backoff_for(n, request_id=0) for n in range(1, 6)
+        ]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_is_deterministic_per_request(self):
+        policy = RetryPolicy(backoff_s=1.0, multiplier=2.0, jitter=1.0)
+        first = policy.backoff_for(3, request_id=42)
+        again = policy.backoff_for(3, request_id=42)
+        assert first == again
+        other = policy.backoff_for(3, request_id=43)
+        assert other != first  # distinct streams per request
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(
+            backoff_s=1.0, multiplier=2.0, jitter=1.0, max_backoff_s=8.0,
+        )
+        for request_id in range(50):
+            for failures in range(1, 5):
+                delay = policy.backoff_for(failures, request_id)
+                assert 1.0 <= delay <= 8.0
+
+    def test_jitter_blend(self):
+        # jitter=0.5 lands halfway between the pure schedule and the
+        # pure-jitter draw for the same request.
+        pure = RetryPolicy(backoff_s=1.0, multiplier=2.0)
+        noisy = RetryPolicy(backoff_s=1.0, multiplier=2.0, jitter=1.0)
+        blend = RetryPolicy(backoff_s=1.0, multiplier=2.0, jitter=0.5)
+        expected = 0.5 * pure.backoff_for(2, 7) + 0.5 * noisy.backoff_for(2, 7)
+        assert blend.backoff_for(2, 7) == pytest.approx(expected)
+
+    def test_failures_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_for(0, request_id=1)
 
 
 class TestSchedule:
@@ -121,6 +177,22 @@ class TestGeneration:
             crash_rate_per_hour=10.0, straggler_rate_per_hour=10.0,
         )
         assert crashes_only.crashes == both.crashes
+
+    def test_crash_intervals_never_overlap_per_server(self):
+        # Regression for a clock-drift bug: the generator advanced its
+        # clock by a *fresh* downtime draw instead of the clamped value
+        # stored on the Crash, so with small mean downtimes (where the
+        # 1 s clamp often binds) consecutive crashes on one server
+        # could overlap the previous recovery window.
+        schedule = generate_faults(
+            servers=6, duration_s=3600.0, seed=7,
+            crash_rate_per_hour=120.0, mean_downtime_s=0.2,
+        )
+        assert schedule.crashes  # the scenario actually exercises it
+        for server in range(6):
+            crashes = schedule.for_server(server).crashes
+            for earlier, later in zip(crashes, crashes[1:]):
+                assert later.at_s >= earlier.recover_s
 
     def test_validation(self):
         with pytest.raises(ValueError):

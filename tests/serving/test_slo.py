@@ -38,8 +38,10 @@ class TestPercentile:
         assert percentile(values, 95.0) == 95.0
         assert percentile(values, 100.0) == 100.0
 
-    def test_empty_is_zero(self):
-        assert percentile([], 95.0) == 0.0
+    def test_empty_is_none(self):
+        # "No samples" must be distinguishable from a true 0.0 — an
+        # all-failed model must not report a perfect p99 of 0.00 s.
+        assert percentile([], 95.0) is None
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -132,3 +134,57 @@ class TestSloReport:
         assert slo.per_model == ()
         assert slo.goodput == 0.0
         assert slo.availability == pytest.approx(1.0)
+
+
+class TestNoSampleModels:
+    def test_all_failed_model_has_no_percentiles(self):
+        # Requests for a model no pool serves fail without a single
+        # completion; their percentiles are missing, not 0.00 s.
+        requests = burst(5, 1.0, model="sd") + [
+            Request(
+                request_id=100 + index, arrival_s=index * 1.0,
+                model="unserved", service_s=1.0,
+            )
+            for index in range(3)
+        ]
+        report = simulate_fleet(requests, [pool(models=("sd",))])
+        slo = slo_report(report, 5.0)
+        dead = slo.model("unserved")
+        assert dead.completed == 0 and dead.failed == 3
+        assert dead.p50_s is None
+        assert dead.p99_s is None
+        assert dead.goodput == 0.0
+        rendered = slo.render()
+        assert "—" in rendered
+
+    def test_served_model_unaffected(self):
+        report = simulate_fleet(burst(5, 5.0), [pool()])
+        entry = slo_report(report, 5.0).model("sd")
+        assert entry.p50_s == pytest.approx(1.0)
+
+
+class TestBurnRate:
+    def test_on_budget_is_unity(self):
+        report = simulate_fleet(burst(10, 5.0), [pool()])
+        slo = slo_report(report, 10.0)
+        assert slo.goodput == pytest.approx(1.0)
+        assert slo.burn_rate(0.999) == pytest.approx(0.0)
+
+    def test_burn_scales_with_objective(self):
+        report = simulate_fleet(
+            burst(30, 0.3), [pool(servers=1, max_batch=1)]
+        )
+        slo = slo_report(report, 1.5)
+        assert slo.goodput < 1.0
+        loose = slo.burn_rate(0.9)
+        strict = slo.burn_rate(0.999)
+        assert strict == pytest.approx(loose * (0.1 / 0.001))
+        assert slo.model("sd").burn_rate(0.999) == pytest.approx(strict)
+
+    def test_objective_validated(self):
+        report = simulate_fleet(burst(3, 5.0), [pool()])
+        slo = slo_report(report, 10.0)
+        with pytest.raises(ValueError):
+            slo.burn_rate(1.0)
+        with pytest.raises(ValueError):
+            slo.burn_rate(0.0)
