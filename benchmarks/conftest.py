@@ -12,6 +12,8 @@ harnesses cannot drift.
 
 from __future__ import annotations
 
+import gc
+
 import pytest
 
 from repro.testing import run_and_render, suite_profile_map
@@ -21,4 +23,18 @@ __all__ = ["run_and_render"]
 
 @pytest.fixture(scope="session", autouse=True)
 def warm_suite_cache():
+    """Warm the suite profiles, then freeze the startup heap.
+
+    ``gc.freeze()`` moves every object alive after warm-up (imported
+    modules, cached profiles, pytest internals) into the permanent
+    generation, so generational collections during a timed section no
+    longer scan them.  Without this, allocation-heavy benchmarks
+    (profiling, sequence-length sweeps) measure the *size of the
+    import graph* through gen-2 pause times — adding an unrelated
+    module could shift their medians by 2-3x and trip the regression
+    gate.  Benchmark-allocated objects are unaffected: anything
+    created after the freeze is collected normally.
+    """
     suite_profile_map()
+    gc.collect()
+    gc.freeze()

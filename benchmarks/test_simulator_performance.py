@@ -186,6 +186,65 @@ def test_fleet_10k_requests(benchmark):
     assert report.completion_rate > 0.99
 
 
+def test_fleet_1m_requests_columnar(benchmark):
+    """A million-user day through the columnar engine (bench-1m).
+
+    The tentpole number: ~1M Poisson arrivals over 24 simulated hours
+    on one batched A100 pool at ~70% utilisation, generated as a
+    :class:`RequestBatch` (columnar stream, no per-request objects)
+    and simulated with ``engine="columnar"``.  Gated like every other
+    entry by ``tools/check_bench_regression.py``; the acceptance bar
+    is interactive speed — well under a minute wall-clock.  Reports
+    ``requests_per_s`` in the bench artifact's ``extra_info``.
+    """
+    from repro.serving.fleet import (
+        PoolSpec,
+        affine_batch_latency,
+        simulate_fleet,
+    )
+    from repro.serving.workload import (
+        WorkloadMix,
+        generate_requests_batch,
+    )
+
+    mix = WorkloadMix(
+        shares={"sd": 0.7, "muse": 0.3},
+        service_s={"sd": 2.0, "muse": 0.5},
+    )
+    requests = generate_requests_batch(
+        mix, arrival_rate=12.0, duration_s=86_400.0, seed=7
+    )
+    assert len(requests) >= 1_000_000
+    pools = [
+        PoolSpec(
+            name="a100",
+            machine="dgx-a100-80g",
+            servers=20,
+            latency_fns={
+                model: affine_batch_latency(
+                    time, marginal_fraction=0.7
+                )
+                for model, time in mix.service_s.items()
+            },
+            max_batch=8,
+        )
+    ]
+
+    report = benchmark.pedantic(
+        simulate_fleet,
+        args=(requests, pools),
+        kwargs={"engine": "columnar"},
+        rounds=1,
+        iterations=1,
+    )
+    assert report.offered >= 1_000_000
+    assert report.completion_rate > 0.99
+    benchmark.extra_info["requests"] = report.offered
+    benchmark.extra_info["requests_per_s"] = round(
+        report.offered / benchmark.stats.stats.median
+    )
+
+
 def test_fleet_10k_requests_resilient(benchmark):
     """The same >=10k-request day with every protection mechanism on.
 

@@ -7,6 +7,13 @@ pool (:mod:`repro.serving.queueing`) up to a heterogeneous fleet with
 scheduling policies, fault injection, retries and autoscaling
 (:mod:`repro.serving.fleet`), with SLO accounting on top
 (:mod:`repro.serving.slo`).
+
+The fleet simulator has two engines behind one front door: the
+event-at-a-time oracle (default) and the columnar struct-of-arrays
+engine (:mod:`repro.serving.columnar`) selected via
+``simulate_fleet(..., engine=...)`` — bit-identical reports, ~17x
+faster on resilient fleets, a million-request day in seconds.  See
+``docs/FLEET_CORE.md`` for the engine contract.
 """
 
 from repro.serving.batching import (
@@ -24,7 +31,13 @@ from repro.serving.faults import (
     Straggler,
     generate_faults,
 )
+from repro.serving.columnar import (
+    ColumnarFleetReport,
+    simulate_fleet_columnar,
+)
 from repro.serving.fleet import (
+    AUTO_COLUMNAR_THRESHOLD,
+    FLEET_ENGINES,
     AutoscalerConfig,
     FailedRequest,
     FleetCompletion,
@@ -64,28 +77,40 @@ from repro.serving.sharded import (
     sharded_replica,
     simulate_sharded_server,
 )
-from repro.serving.slo import ModelSlo, SloReport, percentile, slo_report
+from repro.serving.slo import (
+    ModelSlo,
+    SloReport,
+    fmt_missing,
+    nearest_rank_index,
+    percentile,
+    slo_report,
+)
 from repro.serving.workload import (
     Request,
+    RequestBatch,
     WorkloadMix,
     bursty_rate,
     constant_rate,
     diurnal_rate,
     generate_requests,
+    generate_requests_batch,
     generate_requests_pattern,
     suite_mix_from_profiles,
 )
 
 __all__ = [
+    "AUTO_COLUMNAR_THRESHOLD",
     "AdmissionConfig",
     "AutoscalerConfig",
     "BatchRecord",
     "BrownoutConfig",
     "CircuitBreakerConfig",
+    "ColumnarFleetReport",
     "CompletedRequest",
     "Crash",
     "DegradedRung",
     "FAULT_FREE",
+    "FLEET_ENGINES",
     "FailedRequest",
     "FaultSchedule",
     "FifoPolicy",
@@ -100,6 +125,7 @@ __all__ = [
     "QueueReport",
     "RESILIENCE_OFF",
     "Request",
+    "RequestBatch",
     "ResilienceConfig",
     "ResilienceStats",
     "RetryPolicy",
@@ -113,12 +139,15 @@ __all__ = [
     "bursty_rate",
     "constant_rate",
     "diurnal_rate",
+    "fmt_missing",
     "generate_faults",
     "generate_requests",
+    "generate_requests_batch",
     "generate_requests_pattern",
     "interpolated_batch_latency",
     "machine_speed_factor",
     "mean_batch_size",
+    "nearest_rank_index",
     "percentile",
     "policy_from_name",
     "pool_from_replicas",
@@ -126,6 +155,7 @@ __all__ = [
     "sharded_replica",
     "simulate_batching_server",
     "simulate_fleet",
+    "simulate_fleet_columnar",
     "simulate_queue",
     "simulate_sharded_server",
     "slo_report",

@@ -8,6 +8,14 @@ server launches a batch whenever it is free, taking up to
 ``max_batch`` queued requests.  Batched service time comes from a
 batch-latency function measured with the profiler, closing the loop
 between the kernel model and serving behaviour.
+
+Engine compatibility: :data:`BatchLatencyFn` is the latency interface
+of **both** fleet engines; the columnar engine memoizes results per
+(pool, model, rung, batch size), so a latency function must be *pure*
+— every function this module builds is.
+:func:`simulate_batching_server` itself is a standalone single-server
+simulator, independent of the fleet engine selection.  All times are
+seconds (``_s`` suffix).
 """
 
 from __future__ import annotations

@@ -24,6 +24,12 @@ Semantics, as implemented by :mod:`repro.serving.fleet`:
 * **Timeout** — a request whose queueing delay exceeds
   ``RetryPolicy.timeout_s`` abandons the queue; it retries (after
   backoff) while attempts remain, else it is recorded as failed.
+
+Engine compatibility: fault schedules and retry policies drive **both**
+fleet engines identically — the deterministic backoff jitter is seeded
+per request id, not per engine, so retry timing matches bit-for-bit.
+All times are seconds (``_s`` suffix), rates are per hour where named
+so (``crash_rate_per_hour``).
 """
 
 from __future__ import annotations

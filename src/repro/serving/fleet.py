@@ -28,6 +28,16 @@ Mechanics:
 
 The output :class:`FleetReport` feeds :mod:`repro.serving.slo`, which
 turns raw completions into p50/p95/p99, goodput and availability.
+
+Engine compatibility: this module's event-at-a-time ``_FleetState`` is
+the **oracle** engine — the semantic definition the golden traces pin.
+:func:`simulate_fleet` also fronts the columnar struct-of-arrays
+engine (:mod:`repro.serving.columnar`) via its ``engine`` flag; the
+two produce bit-identical reports (see ``docs/FLEET_CORE.md``).  Every
+config dataclass here (:class:`PoolSpec`, :class:`AutoscalerConfig`)
+is consumed by both engines identically.  All times are **seconds**
+throughout the serving layer — fields and attributes carry the ``_s``
+suffix.
 """
 
 from __future__ import annotations
@@ -56,7 +66,7 @@ from repro.serving.resilience import (
     ResilienceStats,
     ShedRequest,
 )
-from repro.serving.workload import Request
+from repro.serving.workload import Request, RequestBatch
 
 
 def affine_batch_latency(
@@ -477,6 +487,33 @@ class _Pool:
         return (len(self.queue) + self.busy_count) / active
 
 
+FleetEngine = str
+"""Engine selector for :func:`simulate_fleet`.
+
+One of ``"oracle"`` (the event-at-a-time reference engine in this
+module), ``"columnar"`` (the struct-of-arrays engine in
+:mod:`repro.serving.columnar`), or ``"auto"`` (columnar at or above
+:data:`AUTO_COLUMNAR_THRESHOLD` offered requests, oracle below).
+"""
+
+FLEET_ENGINES = ("oracle", "columnar", "auto")
+"""The valid :data:`FleetEngine` values."""
+
+AUTO_COLUMNAR_THRESHOLD = 50_000
+"""Offered-request count at which ``engine="auto"`` picks columnar."""
+
+
+def _validate_pools(pools: Sequence[PoolSpec]) -> None:
+    """Shared pool validation for both fleet engines."""
+    if not pools:
+        raise ValueError("need at least one pool")
+    names = [spec.name for spec in pools]
+    if len(set(names)) != len(names):
+        raise ValueError("pool names must be unique")
+    for spec in pools:
+        machine_from_name(spec.machine)  # validate early
+
+
 def simulate_fleet(
     requests: Sequence[Request],
     pools: Sequence[PoolSpec],
@@ -485,7 +522,8 @@ def simulate_fleet(
     faults: FaultSchedule = FAULT_FREE,
     autoscaler: AutoscalerConfig | None = None,
     resilience: ResilienceConfig = RESILIENCE_OFF,
-) -> FleetReport:
+    engine: FleetEngine = "oracle",
+):
     """Run the fleet discrete-event simulation to completion.
 
     Server ids are assigned pool-by-pool in declaration order — active
@@ -496,14 +534,37 @@ def simulate_fleet(
     resilience config produce an identical :class:`FleetReport`; with
     :data:`~repro.serving.resilience.RESILIENCE_OFF` (the default) the
     event sequence is identical to the pre-resilience simulator.
+
+    ``requests`` is either a ``Sequence[Request]`` or a columnar
+    :class:`repro.serving.workload.RequestBatch`; both engines accept
+    both forms.  ``engine`` selects the implementation (see
+    :data:`FleetEngine` and ``docs/FLEET_CORE.md``): ``"oracle"`` (the
+    default — recorded golden traces pin its exact output) returns a
+    :class:`FleetReport`; ``"columnar"`` returns a bit-equivalent
+    :class:`repro.serving.columnar.ColumnarFleetReport` (call
+    ``.to_report()`` for the object form, or hand it straight to
+    :func:`repro.serving.slo.slo_report`); ``"auto"`` picks columnar
+    at or above :data:`AUTO_COLUMNAR_THRESHOLD` offered requests.
     """
-    if not pools:
-        raise ValueError("need at least one pool")
-    names = [spec.name for spec in pools]
-    if len(set(names)) != len(names):
-        raise ValueError("pool names must be unique")
-    for spec in pools:
-        machine_from_name(spec.machine)  # validate early
+    if engine not in FLEET_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {FLEET_ENGINES}"
+        )
+    _validate_pools(pools)
+    if engine == "auto":
+        engine = (
+            "columnar" if len(requests) >= AUTO_COLUMNAR_THRESHOLD
+            else "oracle"
+        )
+    if engine == "columnar":
+        from repro.serving.columnar import simulate_fleet_columnar
+
+        return simulate_fleet_columnar(
+            requests, pools, retry=retry, faults=faults,
+            autoscaler=autoscaler, resilience=resilience,
+        )
+    if isinstance(requests, RequestBatch):
+        requests = requests.to_requests()
     state = _FleetState(pools, retry, faults, autoscaler, resilience)
     return state.run(requests)
 

@@ -6,6 +6,11 @@ would look at.  Service times come from the performance model, so the
 end-to-end story — "Flash Attention cuts SD service time 1.6x, which
 at 70% load cuts p95 latency by ..." — is computable inside this
 repository.
+
+Engine compatibility: this single-pool FIFO simulator is standalone —
+it predates and sits outside the fleet engine selection
+(``simulate_fleet(..., engine=...)``); there is no columnar variant.
+All times are seconds (``_s`` suffix).
 """
 
 from __future__ import annotations

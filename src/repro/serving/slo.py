@@ -27,6 +27,16 @@ on-call serving team is paged on.  Formulas (documented here and in
   latency.
 * **Availability** — ``1 - down / (capacity + down)`` over all pools:
   the fraction of scheduled server-seconds servers were actually up.
+
+Engine compatibility: :func:`slo_report` accepts the output of either
+fleet engine — a :class:`repro.serving.fleet.FleetReport` (oracle)
+takes the record-at-a-time path below, a
+:class:`repro.serving.columnar.ColumnarFleetReport` takes the
+vectorized accumulator — and the two paths produce **bit-identical**
+:class:`SloReport` values (same nearest-rank indices via
+:func:`nearest_rank_index`, same left-to-right float summation order,
+same ``None``/``—`` rendering via :func:`fmt_missing`).  All times are
+seconds.
 """
 
 from __future__ import annotations
@@ -34,8 +44,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.reporting.table import render_table
+from repro.serving.columnar import ColumnarFleetReport
 from repro.serving.fleet import FleetReport
+
+
+def nearest_rank_index(count: int, p: float) -> int:
+    """Index of the p-th nearest-rank percentile in a sorted sample.
+
+    The single definition both SLO paths (record-at-a-time and
+    vectorized) index with, so the two engines cannot drift: for a
+    sorted sample of ``count`` values, the percentile is element
+    ``max(0, min(count - 1, round(p / 100 * count) - 1))`` (banker's
+    ``round``, matching the recorded golden traces).
+    """
+    if not 0.0 < p <= 100.0:
+        raise ValueError("percentile must be in (0, 100]")
+    if count <= 0:
+        raise ValueError("need a non-empty sample")
+    return max(0, min(count - 1, round(p / 100.0 * count) - 1))
 
 
 def percentile(values: list[float], p: float) -> float | None:
@@ -45,20 +74,24 @@ def percentile(values: list[float], p: float) -> float | None:
     a true zero-latency sample — an all-failed model must not report
     a perfect p99.
     """
-    if not 0.0 < p <= 100.0:
-        raise ValueError("percentile must be in (0, 100]")
     if not values:
+        nearest_rank_index(1, p)  # still validate p
         return None
     ordered = sorted(values)
-    index = max(
-        0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1)
-    )
-    return ordered[index]
+    return ordered[nearest_rank_index(len(ordered), p)]
 
 
-def _fmt(value: float | None, spec: str = ".2f") -> str:
-    """Render a possibly-missing sample; ``—`` means "no data"."""
+def fmt_missing(value: float | None, spec: str = ".2f") -> str:
+    """Render a possibly-missing sample; ``—`` means "no data".
+
+    The one place the ``None`` -> ``—`` convention is implemented:
+    both the oracle path and the vectorized accumulator produce
+    ``None`` for empty samples, and every renderer formats it here.
+    """
     return "—" if value is None else format(value, spec)
+
+
+_fmt = fmt_missing
 
 
 @dataclass(frozen=True)
@@ -193,15 +226,45 @@ class SloReport:
         )
 
 
+def _deadline_for(
+    deadlines: Mapping[str, float] | float, model: str
+) -> float:
+    """Resolve one model's deadline (shared by both SLO paths)."""
+    if isinstance(deadlines, Mapping):
+        try:
+            value = deadlines[model]
+        except KeyError:
+            raise ValueError(
+                f"no deadline for model {model!r}"
+            ) from None
+    else:
+        value = deadlines
+    if value <= 0:
+        raise ValueError("deadlines must be positive")
+    return value
+
+
+def _availability(pools) -> float:
+    """``1 - down / scheduled`` over the pool stats (shared tail)."""
+    down = sum(stats.down_s for stats in pools)
+    scheduled = sum(stats.capacity_s + stats.down_s for stats in pools)
+    return 1.0 - down / scheduled if scheduled > 0 else 1.0
+
+
 def slo_report(
-    report: FleetReport,
+    report: FleetReport | ColumnarFleetReport,
     deadlines: Mapping[str, float] | float,
 ) -> SloReport:
     """Compute SLO accounting from a fleet run.
 
     ``deadlines`` maps model name to its latency deadline in seconds;
-    a scalar applies one deadline to every model.
+    a scalar applies one deadline to every model.  Accepts either
+    engine's report; a :class:`ColumnarFleetReport` runs through the
+    vectorized accumulator, which produces a bit-identical
+    :class:`SloReport` without materializing per-request objects.
     """
+    if isinstance(report, ColumnarFleetReport):
+        return _columnar_slo_report(report, deadlines)
     models = sorted(
         {record.request.model for record in report.completed}
         | {record.request.model for record in report.failed}
@@ -209,18 +272,7 @@ def slo_report(
     )
 
     def deadline_for(model: str) -> float:
-        if isinstance(deadlines, Mapping):
-            try:
-                value = deadlines[model]
-            except KeyError:
-                raise ValueError(
-                    f"no deadline for model {model!r}"
-                ) from None
-        else:
-            value = deadlines
-        if value <= 0:
-            raise ValueError("deadlines must be positive")
-        return value
+        return _deadline_for(deadlines, model)
 
     per_model = []
     for model in models:
@@ -270,15 +322,87 @@ def slo_report(
                 ),
             )
         )
-    down = sum(stats.down_s for stats in report.pools)
-    scheduled = sum(
-        stats.capacity_s + stats.down_s for stats in report.pools
-    )
-    availability = (
-        1.0 - down / scheduled if scheduled > 0 else 1.0
-    )
     return SloReport(
         per_model=tuple(per_model),
-        availability=availability,
+        availability=_availability(report.pools),
+        makespan_s=report.makespan_s,
+    )
+
+
+def _columnar_slo_report(
+    report: ColumnarFleetReport,
+    deadlines: Mapping[str, float] | float,
+) -> SloReport:
+    """Vectorized SLO accumulator over columnar fleet output.
+
+    Per-element arithmetic runs on numpy (bitwise-identical IEEE
+    elementwise ops); *reductions* that the oracle path performs with
+    Python's left-to-right ``sum`` are reduced the same way here (via
+    ``sum(arr.tolist())``, never ``np.sum``, whose pairwise summation
+    differs in the last ulps) — that is what makes the two paths
+    return equal, not merely close, reports.
+    """
+    comp_mid = report.req_model_ids[report.comp_req]
+    fail_mid = report.req_model_ids[report.fail_req]
+    shed_mid = report.req_model_ids[report.shed_req]
+    present = sorted(
+        {report.models[mid] for mid in comp_mid.tolist()}
+        | {report.models[mid] for mid in fail_mid.tolist()}
+        | {report.models[mid] for mid in shed_mid.tolist()}
+    )
+    latency = report.latency_s
+    service = report.service_s
+    queueing = latency - service
+    per_model = []
+    for model in present:
+        mid = report.models.index(model)
+        deadline = _deadline_for(deadlines, model)
+        mask = comp_mid == mid
+        lat_m = latency[mask]
+        count = int(lat_m.size)
+        ordered = np.sort(lat_m)
+        degraded_mask = report.comp_rung[mask] > 0
+        per_model.append(
+            ModelSlo(
+                model=model,
+                deadline_s=deadline,
+                completed=count,
+                failed=int((fail_mid == mid).sum()),
+                p50_s=(
+                    float(ordered[nearest_rank_index(count, 50.0)])
+                    if count else None
+                ),
+                p95_s=(
+                    float(ordered[nearest_rank_index(count, 95.0)])
+                    if count else None
+                ),
+                p99_s=(
+                    float(ordered[nearest_rank_index(count, 99.0)])
+                    if count else None
+                ),
+                mean_queueing_s=(
+                    sum(queueing[mask].tolist()) / count
+                    if count else 0.0
+                ),
+                mean_service_s=(
+                    sum(service[mask].tolist()) / count
+                    if count else 0.0
+                ),
+                within_deadline=int((lat_m <= deadline).sum()),
+                violation_s=sum(
+                    np.maximum(0.0, lat_m - deadline).tolist()
+                ),
+                shed=int((shed_mid == mid).sum()),
+                hedged=int(report.comp_hedged[mask].sum()),
+                degraded=int(degraded_mask.sum()),
+                quality_debt=sum(
+                    (1.0 - report.comp_quality[mask][degraded_mask])
+                    .tolist()
+                ),
+            )
+        )
+    return SloReport(
+        per_model=tuple(per_model),
+        availability=_availability(report.pools),
         makespan_s=report.makespan_s,
     )

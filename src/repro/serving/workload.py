@@ -10,33 +10,55 @@ time-varying rate — diurnal cycles and flash-crowd bursts
 (:func:`generate_requests_pattern`) — which is what production TTI
 traffic actually looks like (ServeGen, arXiv:2505.09999).
 
+All times in this module are **seconds** of simulation time.
+
+Million-request streams do not fit the one-object-per-request
+representation comfortably: :class:`RequestBatch` is the same stream
+as a struct-of-arrays column set (numpy), produced at array speed by
+:func:`generate_requests_batch` and consumed natively by the columnar
+fleet engine (``docs/FLEET_CORE.md``).  Both fleet engines accept
+either representation.
+
 Seeding contract
 ----------------
 
 Every generator in this module (and :mod:`repro.serving.faults`) is a
 pure function of its arguments: all randomness flows through one
-``random.Random(seed)`` instance consumed in a single documented order
-(inter-arrival draw, then model choice, then jitter draw, per request).
-The same arguments therefore produce *byte-identical* request streams —
-``repr()`` and JSON serializations compare equal — across processes and
-platforms, because CPython's Mersenne Twister is deterministic and no
-iteration order over unordered containers is involved (model names are
-taken in ``dict`` insertion order, which is part of the mix's value).
-Tests pin this contract (``tests/serving/test_determinism.py``); any
-change to the draw order is a breaking change to recorded workloads.
+seeded generator instance consumed in a single documented order.  For
+:func:`generate_requests` / :func:`generate_requests_pattern` that is
+``random.Random(seed)`` with per-request draws (inter-arrival draw,
+then model choice, then jitter draw); the same arguments therefore
+produce *byte-identical* request streams — ``repr()`` and JSON
+serializations compare equal — across processes and platforms, because
+CPython's Mersenne Twister is deterministic and no iteration order
+over unordered containers is involved (model names are taken in
+``dict`` insertion order, which is part of the mix's value).
+:func:`generate_requests_batch` draws from ``numpy``'s seeded PCG64
+generator in column order (all gaps, then all model choices, then all
+jitters) — equally deterministic, but a *different stream* from the
+scalar generators at the same seed.  Tests pin this contract
+(``tests/serving/test_determinism.py``); any change to a draw order is
+a breaking change to recorded workloads.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
 
 
 @dataclass(frozen=True)
 class Request:
-    """One generation request."""
+    """One generation request (times in seconds).
+
+    Engine compatibility: consumed by both fleet engines; the columnar
+    engine ingests sequences of these into :class:`RequestBatch`
+    columns at simulation start.
+    """
 
     request_id: int
     arrival_s: float
@@ -46,6 +68,114 @@ class Request:
     def __post_init__(self) -> None:
         if self.arrival_s < 0 or self.service_s <= 0:
             raise ValueError("invalid request timing")
+
+
+@dataclass(frozen=True, eq=False)
+class RequestBatch:
+    """A request stream as struct-of-arrays columns (times in seconds).
+
+    The same information as a ``list[Request]``, laid out for the
+    columnar fleet engine: one interned model-name table plus four
+    aligned numpy columns.  A million-request day is ~32 MB of arrays
+    instead of ~10⁶ boxed objects, and ingestion into the engine is a
+    buffer handoff rather than an attribute-access loop.
+
+    Engine compatibility: both engines accept a ``RequestBatch``
+    wherever they accept ``Sequence[Request]`` (the oracle engine
+    materializes it via :meth:`to_requests` first — convenient, but it
+    forfeits the memory advantage).
+
+    Attributes:
+        models: interned model-name table; ``model_ids`` indexes it.
+        arrival_s: float64 arrival times (seconds, non-negative; not
+            required to be sorted — engines order arrivals stably).
+        service_s: float64 nominal single-request service times
+            (seconds, positive).
+        model_ids: integer index into ``models`` per request.
+        request_ids: client-visible request ids (feed retry-jitter
+            seeding and hedge de-duplication, exactly like
+            ``Request.request_id``).
+    """
+
+    models: tuple[str, ...]
+    arrival_s: np.ndarray
+    service_s: np.ndarray
+    model_ids: np.ndarray
+    request_ids: np.ndarray
+    _materialized: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError("batch needs a model table")
+        lengths = {
+            len(self.arrival_s), len(self.service_s),
+            len(self.model_ids), len(self.request_ids),
+        }
+        if len(lengths) != 1:
+            raise ValueError("request columns must be aligned")
+        if len(self.arrival_s) and float(self.arrival_s.min()) < 0:
+            raise ValueError("arrival times must be non-negative")
+        if len(self.service_s) and float(self.service_s.min()) <= 0:
+            raise ValueError("service times must be positive")
+        if len(self.model_ids) and not (
+            0 <= int(self.model_ids.min())
+            and int(self.model_ids.max()) < len(self.models)
+        ):
+            raise ValueError("model ids must index the model table")
+
+    def __len__(self) -> int:
+        return len(self.arrival_s)
+
+    @classmethod
+    def from_requests(cls, requests: Sequence[Request]) -> "RequestBatch":
+        """Columnarize a request list (model table in sorted order)."""
+        names = sorted({request.model for request in requests})
+        index = {name: i for i, name in enumerate(names)}
+        return cls(
+            models=tuple(names) or ("<empty>",),
+            arrival_s=np.array(
+                [r.arrival_s for r in requests], dtype=np.float64
+            ),
+            service_s=np.array(
+                [r.service_s for r in requests], dtype=np.float64
+            ),
+            model_ids=np.array(
+                [index[r.model] for r in requests], dtype=np.int64
+            ),
+            request_ids=np.array(
+                [r.request_id for r in requests], dtype=np.int64
+            ),
+        )
+
+    def request(self, index: int) -> Request:
+        """Materialize one request (cached — ids stay stable)."""
+        cached = self._materialized.get(index)
+        if cached is None:
+            cached = Request(
+                request_id=int(self.request_ids[index]),
+                arrival_s=float(self.arrival_s[index]),
+                model=self.models[int(self.model_ids[index])],
+                service_s=float(self.service_s[index]),
+            )
+            self._materialized[index] = cached
+        return cached
+
+    def to_requests(self) -> list[Request]:
+        """Materialize the whole batch as ``Request`` objects."""
+        arrivals = self.arrival_s.tolist()
+        services = self.service_s.tolist()
+        mids = self.model_ids.tolist()
+        rids = self.request_ids.tolist()
+        models = self.models
+        return [
+            Request(
+                request_id=rids[i], arrival_s=arrivals[i],
+                model=models[mids[i]], service_s=services[i],
+            )
+            for i in range(len(arrivals))
+        ]
 
 
 @dataclass(frozen=True)
@@ -220,6 +350,69 @@ def generate_requests_pattern(
         )
         index += 1
     return requests
+
+
+def generate_requests_batch(
+    mix: WorkloadMix,
+    *,
+    arrival_rate: float,
+    duration_s: float,
+    seed: int = 0,
+    service_jitter: float = 0.05,
+) -> RequestBatch:
+    """Poisson arrivals as a :class:`RequestBatch` (columnar stream).
+
+    The array-speed counterpart to :func:`generate_requests`: draws
+    whole columns with numpy's seeded PCG64 generator instead of one
+    scalar draw per request, so a million-request stream takes tens of
+    milliseconds rather than seconds.  Column draw order is all
+    inter-arrival gaps, then all model choices, then all jitters — a
+    deterministic but *different* random stream than the scalar
+    generators at the same seed (see the module seeding contract).
+
+    Engine compatibility: both (the oracle engine materializes the
+    batch into ``Request`` objects first).
+    """
+    if arrival_rate <= 0 or duration_s <= 0:
+        raise ValueError("arrival rate and duration must be positive")
+    if not 0.0 <= service_jitter < 1.0:
+        raise ValueError("service jitter must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    names = tuple(mix.shares)
+    expected = arrival_rate * duration_s
+    arrivals = np.empty(0, dtype=np.float64)
+    clock = 0.0
+    # Draw exponential gaps in blocks until the cumulative sum crosses
+    # the horizon; overdraw ~4 sigma so one block almost always does.
+    while True:
+        block = max(1024, int(expected + 4.0 * math.sqrt(expected)))
+        gaps = rng.exponential(1.0 / arrival_rate, size=block)
+        times = clock + np.cumsum(gaps)
+        arrivals = np.concatenate([arrivals, times])
+        clock = float(times[-1])
+        if clock >= duration_s:
+            break
+        expected = max(1.0, arrival_rate * (duration_s - clock))
+    arrivals = arrivals[arrivals < duration_s]
+    n = len(arrivals)
+
+    weights = np.array([mix.shares[name] for name in names])
+    cumulative = np.cumsum(weights)
+    cumulative[-1] = 1.0  # guard against float round-off at the top
+    model_ids = np.searchsorted(
+        cumulative, rng.random(n), side="right"
+    ).astype(np.int64)
+    service_base = np.array(
+        [mix.service_s[name] for name in names], dtype=np.float64
+    )
+    jitters = 1.0 + rng.uniform(-service_jitter, service_jitter, size=n)
+    return RequestBatch(
+        models=names,
+        arrival_s=arrivals,
+        service_s=service_base[model_ids] * jitters,
+        model_ids=model_ids,
+        request_ids=np.arange(n, dtype=np.int64),
+    )
 
 
 def generate_requests(

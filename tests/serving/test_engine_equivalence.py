@@ -1,0 +1,364 @@
+"""Oracle/columnar engine equivalence (the columnar core's contract).
+
+The columnar engine (``repro.serving.columnar``) promises *bit-exact*
+agreement with the event-at-a-time oracle — not statistical closeness:
+``ColumnarFleetReport.to_report()`` must compare equal to the oracle's
+``FleetReport`` (every float identical), and ``slo_report`` must return
+equal ``SloReport`` values through both its record-at-a-time and its
+vectorized path.  Hypothesis searches random small fleets — mixed
+pools, every built-in policy, faults on/off, each resilience mechanism
+independently toggled, autoscaler on/off — because the engines share no
+code in their hot loops: any divergence in event ordering, float-op
+order, or terminal-state bookkeeping shows up here as a first
+mismatching record.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.columnar import simulate_fleet_columnar
+from repro.serving.faults import (
+    FAULT_FREE,
+    NO_RETRIES,
+    RetryPolicy,
+    generate_faults,
+)
+from repro.serving.fleet import (
+    AutoscalerConfig,
+    PoolSpec,
+    affine_batch_latency,
+    simulate_fleet,
+)
+from repro.serving.policies import policy_from_name
+from repro.serving.resilience import (
+    RESILIENCE_OFF,
+    AdmissionConfig,
+    BrownoutConfig,
+    CircuitBreakerConfig,
+    DegradedRung,
+    HedgeConfig,
+    ResilienceConfig,
+)
+from repro.serving.slo import slo_report
+from repro.serving.workload import WorkloadMix, generate_requests
+
+MODELS = ("sd", "muse", "video")
+SERVICE_S = {"sd": 2.0, "muse": 0.5, "video": 6.0}
+DEADLINES = {"sd": 8.0, "muse": 3.0, "video": 20.0}
+MACHINES = ("dgx-a100-80g", "dgx-h100")
+
+
+def _mix(model_count: int) -> WorkloadMix:
+    names = MODELS[:model_count]
+    share = 1.0 / len(names)
+    return WorkloadMix(
+        shares={name: share for name in names},
+        service_s={name: SERVICE_S[name] for name in names},
+    )
+
+
+def _latency_fns(names, scale=1.0):
+    return {
+        name: affine_batch_latency(
+            SERVICE_S[name] * scale, marginal_fraction=0.6
+        )
+        for name in names
+    }
+
+
+@st.composite
+def fleet_scenarios(draw):
+    """One random small fleet: requests, pools, faults, resilience."""
+    model_count = draw(st.integers(min_value=1, max_value=3))
+    names = MODELS[:model_count]
+    mix = _mix(model_count)
+    requests = generate_requests(
+        mix,
+        arrival_rate=draw(st.floats(min_value=0.5, max_value=8.0)),
+        duration_s=draw(st.floats(min_value=20.0, max_value=90.0)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+    pool_count = draw(st.integers(min_value=1, max_value=2))
+    pools = []
+    total_servers = 0
+    for index in range(pool_count):
+        servers = draw(st.integers(min_value=1, max_value=4))
+        standby = draw(st.integers(min_value=0, max_value=2))
+        # Pool 0 serves everything (keeps most runs routable); later
+        # pools may drop models, exercising routing and unroutable.
+        served = (
+            names if index == 0
+            else names[draw(st.integers(0, model_count - 1)):]
+        )
+        pools.append(
+            PoolSpec(
+                name=f"pool{index}",
+                machine=MACHINES[index % len(MACHINES)],
+                servers=servers,
+                latency_fns=_latency_fns(served),
+                max_batch=draw(st.integers(min_value=1, max_value=4)),
+                policy=policy_from_name(
+                    draw(st.sampled_from(("fifo", "sjf", "affinity")))
+                ),
+                swap_cost_s=draw(st.sampled_from((0.0, 0.4))),
+                max_servers=servers + standby,
+            )
+        )
+        total_servers += servers + standby
+    if draw(st.booleans()):
+        retry = RetryPolicy(
+            max_retries=draw(st.integers(min_value=0, max_value=2)),
+            backoff_s=draw(st.sampled_from((0.0, 0.5, 1.0))),
+            timeout_s=draw(st.sampled_from((None, 5.0, 15.0))),
+            multiplier=draw(st.sampled_from((1.0, 2.0))),
+            jitter=draw(st.sampled_from((0.0, 0.5))),
+        )
+    else:
+        retry = NO_RETRIES
+    if draw(st.booleans()):
+        faults = generate_faults(
+            servers=total_servers,
+            duration_s=120.0,
+            seed=draw(st.integers(min_value=0, max_value=2**16)),
+            crash_rate_per_hour=draw(st.sampled_from((0.0, 60.0))),
+            mean_downtime_s=10.0,
+            straggler_rate_per_hour=draw(st.sampled_from((0.0, 120.0))),
+            mean_straggler_s=15.0,
+            slowdown=3.0,
+        )
+    else:
+        faults = FAULT_FREE
+    admission = draw(st.sampled_from((
+        None,
+        AdmissionConfig(max_queue_depth=4),
+        AdmissionConfig(wait_budget_s=6.0),
+        AdmissionConfig(rate_per_s=2.0, burst=4.0),
+    )))
+    breaker = draw(st.sampled_from((
+        None,
+        CircuitBreakerConfig(
+            failure_threshold=2, window_s=60.0, cooldown_s=10.0,
+            slow_factor=2.0,
+        ),
+    )))
+    hedge = draw(st.sampled_from((
+        None,
+        HedgeConfig(delay_s=4.0),
+        HedgeConfig(quantile=90.0, min_samples=5),
+    )))
+    brownout = draw(st.sampled_from((
+        None,
+        BrownoutConfig(
+            rungs=(
+                DegradedRung(
+                    label="fast",
+                    latency_fns=_latency_fns(names, scale=0.5),
+                    quality=0.8,
+                ),
+            ),
+            step_down_backlog=2.0,
+            step_up_backlog=0.5,
+            check_interval_s=5.0,
+            dwell_s=5.0,
+        ),
+    )))
+    resilience = ResilienceConfig(
+        admission=admission, breaker=breaker,
+        hedge=hedge, brownout=brownout,
+    )
+    autoscaler = draw(st.sampled_from((
+        None,
+        AutoscalerConfig(
+            check_interval_s=10.0, scale_up_backlog=2.0,
+            scale_down_backlog=0.5, startup_s=5.0, cooldown_s=10.0,
+        ),
+    )))
+    return requests, pools, retry, faults, autoscaler, resilience
+
+
+def assert_engines_agree(
+    requests, pools, retry, faults, autoscaler, resilience
+):
+    """Run both engines and assert bit-exact report + SLO equality."""
+    oracle = simulate_fleet(
+        requests, pools, retry=retry, faults=faults,
+        autoscaler=autoscaler, resilience=resilience,
+    )
+    columnar = simulate_fleet_columnar(
+        requests, pools, retry=retry, faults=faults,
+        autoscaler=autoscaler, resilience=resilience,
+    )
+    materialized = columnar.to_report()
+    assert materialized.offered == oracle.offered
+    assert materialized.completed == oracle.completed
+    assert materialized.failed == oracle.failed
+    assert materialized.shed == oracle.shed
+    assert materialized.pools == oracle.pools
+    assert materialized.makespan_s == oracle.makespan_s
+    assert materialized.resilience == oracle.resilience
+    assert materialized == oracle
+    assert slo_report(columnar, DEADLINES) == slo_report(
+        oracle, DEADLINES
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario=fleet_scenarios())
+def test_random_fleets_bit_exact(scenario):
+    assert_engines_agree(*scenario)
+
+
+class TestTargetedScenarios:
+    """Deterministic scenarios pinning each mechanism's hardest path
+    (kept out of hypothesis so a failure names its mechanism)."""
+
+    def _requests(self, rate=4.0, duration=120.0, seed=11, models=3):
+        return generate_requests(
+            _mix(models), arrival_rate=rate, duration_s=duration,
+            seed=seed,
+        )
+
+    def _pools(self, **kwargs):
+        base = dict(
+            name="pool0", machine="dgx-a100-80g", servers=3,
+            latency_fns=_latency_fns(MODELS), max_batch=4,
+        )
+        base.update(kwargs)
+        return [PoolSpec(**base)]
+
+    def test_crashes_with_retries_and_timeouts(self):
+        faults = generate_faults(
+            servers=3, duration_s=120.0, seed=5,
+            crash_rate_per_hour=120.0, mean_downtime_s=8.0,
+        )
+        assert_engines_agree(
+            self._requests(), self._pools(),
+            RetryPolicy(max_retries=2, backoff_s=0.5, timeout_s=10.0),
+            faults, None, RESILIENCE_OFF,
+        )
+
+    def test_breaker_open_probe_close_cycle(self):
+        faults = generate_faults(
+            servers=3, duration_s=120.0, seed=5,
+            crash_rate_per_hour=180.0, mean_downtime_s=5.0,
+            straggler_rate_per_hour=240.0, mean_straggler_s=20.0,
+        )
+        resilience = ResilienceConfig(
+            breaker=CircuitBreakerConfig(
+                failure_threshold=1, window_s=30.0, cooldown_s=5.0,
+                slow_factor=1.5,
+            )
+        )
+        assert_engines_agree(
+            self._requests(), self._pools(),
+            RetryPolicy(max_retries=3, backoff_s=0.5, timeout_s=None),
+            faults, None, resilience,
+        )
+
+    def test_hedging_quantile_with_two_pools(self):
+        pools = self._pools() + [
+            PoolSpec(
+                name="pool1", machine="dgx-h100", servers=2,
+                latency_fns=_latency_fns(MODELS), max_batch=2,
+            )
+        ]
+        resilience = ResilienceConfig(
+            hedge=HedgeConfig(quantile=75.0, min_samples=5)
+        )
+        assert_engines_agree(
+            self._requests(rate=6.0), pools,
+            NO_RETRIES, FAULT_FREE, None, resilience,
+        )
+
+    def test_brownout_ladder_steps_down_and_up(self):
+        resilience = ResilienceConfig(
+            brownout=BrownoutConfig(
+                rungs=(
+                    DegradedRung(
+                        label="r1",
+                        latency_fns=_latency_fns(MODELS, scale=0.6),
+                        quality=0.9,
+                    ),
+                    DegradedRung(
+                        label="r2",
+                        latency_fns=_latency_fns(MODELS, scale=0.3),
+                        quality=0.7,
+                    ),
+                ),
+                step_down_backlog=1.5,
+                step_up_backlog=0.5,
+                check_interval_s=5.0,
+                dwell_s=5.0,
+            )
+        )
+        assert_engines_agree(
+            self._requests(rate=8.0, duration=60.0),
+            self._pools(servers=2),
+            NO_RETRIES, FAULT_FREE, None, resilience,
+        )
+
+    def test_autoscaler_up_and_down(self):
+        assert_engines_agree(
+            self._requests(rate=8.0, duration=60.0),
+            self._pools(servers=1, max_servers=4),
+            NO_RETRIES, FAULT_FREE,
+            AutoscalerConfig(
+                check_interval_s=5.0, scale_up_backlog=2.0,
+                scale_down_backlog=0.5, startup_s=3.0, cooldown_s=5.0,
+            ),
+            RESILIENCE_OFF,
+        )
+
+    def test_full_stack_everything_on(self):
+        pools = [
+            PoolSpec(
+                name="pool0", machine="dgx-a100-80g", servers=3,
+                latency_fns=_latency_fns(MODELS), max_batch=4,
+                swap_cost_s=0.3, max_servers=5,
+                policy=policy_from_name("affinity"),
+            ),
+            PoolSpec(
+                name="pool1", machine="dgx-h100", servers=2,
+                latency_fns=_latency_fns(MODELS[:2]), max_batch=2,
+                policy=policy_from_name("sjf"),
+            ),
+        ]
+        faults = generate_faults(
+            servers=7, duration_s=180.0, seed=23,
+            crash_rate_per_hour=90.0, mean_downtime_s=8.0,
+            straggler_rate_per_hour=90.0, mean_straggler_s=15.0,
+        )
+        resilience = ResilienceConfig(
+            admission=AdmissionConfig(
+                max_queue_depth=16, wait_budget_s=20.0,
+                rate_per_s=6.0, burst=10.0,
+            ),
+            breaker=CircuitBreakerConfig(
+                failure_threshold=2, window_s=60.0, cooldown_s=8.0,
+                slow_factor=2.0,
+            ),
+            hedge=HedgeConfig(quantile=90.0, min_samples=8),
+            brownout=BrownoutConfig(
+                rungs=(
+                    DegradedRung(
+                        label="fast",
+                        latency_fns=_latency_fns(MODELS, scale=0.5),
+                        quality=0.8,
+                    ),
+                ),
+                step_down_backlog=2.0,
+            ),
+        )
+        assert_engines_agree(
+            self._requests(rate=6.0, duration=180.0, seed=29), pools,
+            RetryPolicy(
+                max_retries=2, backoff_s=0.5, timeout_s=12.0,
+                multiplier=2.0, jitter=0.5,
+            ),
+            faults,
+            AutoscalerConfig(
+                check_interval_s=10.0, scale_up_backlog=2.0,
+                scale_down_backlog=0.5, startup_s=5.0, cooldown_s=10.0,
+            ),
+            resilience,
+        )

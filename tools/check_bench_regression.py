@@ -18,6 +18,15 @@ speed but never the simulator, so every ratio is divided by the
 calibration ratio before the threshold applies — a slower CI runner
 slows the calibration loop by the same factor and cancels out.
 
+Microsecond-scale entries additionally get an absolute *noise floor*
+(``NOISE_FLOOR_S``): a median may exceed its relative threshold by up
+to 2 ms of machine-normalized wall clock before it counts as a
+regression.  At that scale the measurement is dominated by timer
+granularity and per-process code/data layout (observed flapping 1.5-2x
+between identical runs), not by the simulator; for any benchmark whose
+median is tens of milliseconds or more the floor is a <=few-percent
+widening and the relative threshold still governs.
+
 Exit status: 0 when every benchmark is within the threshold, 1 on any
 regression or missing benchmark.
 """
@@ -33,6 +42,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
 CALIBRATION_KEY = "test_calibration_reference"
 DEFAULT_THRESHOLD = 0.30
+NOISE_FLOOR_S = 0.002
 
 
 def load_medians(results_path: Path) -> dict[str, float]:
@@ -93,8 +103,9 @@ def check(
             failures.append(f"MISSING  {name}")
             continue
         normalized = (median / base_median) / scale
+        allowed = 1.0 + threshold + NOISE_FLOOR_S / base_median
         status = "ok"
-        if normalized > 1.0 + threshold:
+        if normalized > allowed:
             status = "REGRESSED"
             failures.append(
                 f"{status}  {name}: {base_median * 1e3:.2f} ms -> "
