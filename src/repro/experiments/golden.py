@@ -199,6 +199,65 @@ def serve2_summary() -> dict:
     return summary
 
 
+def serve3_summary() -> dict:
+    """Client-structured vs Poisson traffic comparison (serve3).
+
+    Pins the four (traffic, policy) runs of the serve3 experiment —
+    goodput, percentile and shed/failed accounting per run, the
+    dispersion index of each trace, and the per-tier breakdown of the
+    unprotected client run.  This is the regression contract for the
+    traffic layer *and* for the experiment's headline ranking flip:
+    if either trace generation or the admission interaction moves,
+    the flip margin recorded here moves with it and the golden fails.
+    """
+    from repro.experiments.serve3_traffic import dispersion_index
+    from repro.experiments.serve3_traffic import (
+        _run_scenarios as serve3_scenarios,
+    )
+    from repro.serving.slo import tier_slo_report
+
+    scenarios, traces, deadlines = serve3_scenarios()
+    summary: dict = {
+        "traces": {
+            label: {
+                "requests": float(len(trace)),
+                "service_sum_s": float(trace.batch.service_s.sum()),
+                "dispersion": dispersion_index(trace),
+            }
+            for label, trace in traces.items()
+        }
+    }
+    for traffic_label, policy_label, report, slo in scenarios:
+        summary[f"{traffic_label}|{policy_label}"] = {
+            "goodput": slo.goodput,
+            "completed": float(len(report.completed)),
+            "failed": float(len(report.failed)),
+            "shed": float(len(report.shed)),
+            "per_model": {
+                entry.model: {
+                    "p50_s": entry.p50_s,
+                    "p95_s": entry.p95_s,
+                    "p99_s": entry.p99_s,
+                }
+                for entry in slo.per_model
+            },
+        }
+        if (traffic_label, policy_label) == ("client", "no-admission"):
+            tiers = tier_slo_report(
+                report, traces["client"], deadlines
+            )
+            summary["client_tiers"] = {
+                entry.tier: {
+                    "clients": float(entry.clients),
+                    "offered": float(entry.offered),
+                    "p95_s": entry.p95_s,
+                    "goodput": entry.goodput,
+                }
+                for entry in tiers.per_tier
+            }
+    return summary
+
+
 GOLDEN_SUMMARIES: dict[str, Callable[[], dict]] = {
     "table1": table1_summary,
     "table2": table2_summary,
@@ -206,6 +265,7 @@ GOLDEN_SUMMARIES: dict[str, Callable[[], dict]] = {
     "dist1": dist1_summary,
     "serve1": serve1_summary,
     "serve2": serve2_summary,
+    "serve3": serve3_summary,
 }
 
 

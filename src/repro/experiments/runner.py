@@ -20,6 +20,7 @@ from repro.experiments import fig08_seqlen_distribution, fig09_image_scaling
 from repro.experiments import fig10_layouts, fig11_temporal_cost
 from repro.experiments import fig12_cache, fig13_frame_scaling
 from repro.experiments import serve1_fleet, serve2_resilience
+from repro.experiments import serve3_traffic
 from repro.experiments import table1_taxonomy, table2_speedup
 from repro.experiments import table3_prefill_decode
 from repro.experiments.base import ExperimentResult
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "dist1": dist_future_hw.run,
     "serve1": serve1_fleet.run,
     "serve2": serve2_resilience.run,
+    "serve3": serve3_traffic.run,
 }
 
 
@@ -71,7 +73,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         default=["all"],
         help="experiment ids (fig1..fig13, table1..table3, dist1, "
-             "serve1, serve2) or 'all'",
+             "serve1..serve3) or 'all'",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"

@@ -263,7 +263,16 @@ class ColumnarFleetReport:
 def _request_columns(
     requests: Sequence[Request] | RequestBatch,
 ) -> RequestBatch:
-    """Normalize either request representation to columns."""
+    """Normalize any request representation to columns.
+
+    Accepts a ``Sequence[Request]``, a :class:`RequestBatch`, or a
+    :class:`repro.serving.traffic.TrafficTrace` (whose ``batch`` is
+    already columnar — a zero-copy handoff).
+    """
+    from repro.serving.traffic import TrafficTrace
+
+    if isinstance(requests, TrafficTrace):
+        return requests.batch
     if isinstance(requests, RequestBatch):
         return requests
     return RequestBatch.from_requests(requests)

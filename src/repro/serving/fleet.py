@@ -535,9 +535,10 @@ def simulate_fleet(
     :data:`~repro.serving.resilience.RESILIENCE_OFF` (the default) the
     event sequence is identical to the pre-resilience simulator.
 
-    ``requests`` is either a ``Sequence[Request]`` or a columnar
-    :class:`repro.serving.workload.RequestBatch`; both engines accept
-    both forms.  ``engine`` selects the implementation (see
+    ``requests`` is a ``Sequence[Request]``, a columnar
+    :class:`repro.serving.workload.RequestBatch`, or a replayable
+    :class:`repro.serving.traffic.TrafficTrace` (its ``batch`` is
+    simulated); both engines accept all three forms.  ``engine`` selects the implementation (see
     :data:`FleetEngine` and ``docs/FLEET_CORE.md``): ``"oracle"`` (the
     default — recorded golden traces pin its exact output) returns a
     :class:`FleetReport`; ``"columnar"`` returns a bit-equivalent
@@ -550,6 +551,10 @@ def simulate_fleet(
         raise ValueError(
             f"unknown engine {engine!r}; known: {FLEET_ENGINES}"
         )
+    from repro.serving.traffic import TrafficTrace
+
+    if isinstance(requests, TrafficTrace):
+        requests = requests.batch
     _validate_pools(pools)
     if engine == "auto":
         engine = (

@@ -37,6 +37,13 @@ vectorized accumulator — and the two paths produce **bit-identical**
 :func:`nearest_rank_index`, same left-to-right float summation order,
 same ``None``/``—`` rendering via :func:`fmt_missing`).  All times are
 seconds.
+
+When the workload came from a replayable
+:class:`repro.serving.traffic.TrafficTrace`, :func:`tier_slo_report`
+additionally breaks the same accounting down by client tier
+(heavy/medium/light) — the view that shows whose requests a policy
+sacrifices under overload.  Tiers with no traffic (zero-request
+clients, empty scenarios) report ``None`` percentiles, rendered ``—``.
 """
 
 from __future__ import annotations
@@ -406,3 +413,162 @@ def _columnar_slo_report(
         availability=_availability(report.pools),
         makespan_s=report.makespan_s,
     )
+
+
+@dataclass(frozen=True)
+class TierSlo:
+    """SLO accounting for one client tier's traffic."""
+
+    tier: str
+    clients: int
+    completed: int
+    failed: int
+    shed: int
+    p50_s: float | None
+    p95_s: float | None
+    p99_s: float | None
+    within_deadline: int
+
+    @property
+    def offered(self) -> int:
+        """Requests from this tier that reached a terminal state."""
+        return self.completed + self.failed + self.shed
+
+    @property
+    def goodput(self) -> float | None:
+        """Within-deadline fraction; ``None`` when the tier is idle."""
+        if self.offered == 0:
+            return None
+        return self.within_deadline / self.offered
+
+
+@dataclass(frozen=True)
+class TierSloReport:
+    """Per-client-tier SLO breakdown of one fleet run.
+
+    Always contains one row per tier in
+    :data:`repro.serving.traffic.TIER_NAMES` order, including tiers
+    with zero clients or zero requests (their percentiles are ``None``
+    and render ``—``).
+    """
+
+    per_tier: tuple[TierSlo, ...]
+
+    def tier(self, name: str) -> TierSlo:
+        """Tier accounting by tier name."""
+        for entry in self.per_tier:
+            if entry.tier == name:
+                return entry
+        raise ValueError(f"unknown tier {name!r}")
+
+    def render(self, *, title: str = "Per-tier SLO") -> str:
+        """Text table of the per-tier numbers (``—`` = no data)."""
+        rows = [
+            [
+                entry.tier,
+                entry.clients,
+                entry.offered,
+                _fmt(entry.p50_s),
+                _fmt(entry.p95_s),
+                _fmt(entry.p99_s),
+                _fmt(
+                    None if entry.goodput is None
+                    else entry.goodput * 100,
+                    ".1f",
+                ),
+                entry.shed,
+                entry.failed,
+            ]
+            for entry in self.per_tier
+        ]
+        return render_table(
+            [
+                "tier", "clients", "offered", "p50 s", "p95 s",
+                "p99 s", "goodput %", "shed", "failed",
+            ],
+            rows,
+            title=title,
+        )
+
+
+def tier_slo_report(
+    report: FleetReport | ColumnarFleetReport,
+    trace,
+    deadlines: Mapping[str, float] | float,
+) -> TierSloReport:
+    """Break a fleet run's SLO numbers down by client tier.
+
+    ``trace`` is the :class:`repro.serving.traffic.TrafficTrace` the
+    run replayed — its request ids are row indices carrying the
+    request -> client -> tier join.  ``deadlines`` is per model, as in
+    :func:`slo_report`.  Accepts either engine's report and produces
+    identical values for both (percentiles sort the same float
+    samples; counts are exact).  Tiers with no clients or no traffic
+    are still reported, with ``None`` percentiles and goodput — the
+    empty-scenario path is a first-class output, not an error.
+    """
+    from repro.serving.traffic import TIER_NAMES, TrafficTrace
+
+    if not isinstance(trace, TrafficTrace):
+        raise TypeError("tier breakdown needs a TrafficTrace")
+    n = len(trace)
+    if len(trace.client_tiers):
+        request_tiers = trace.client_tiers[trace.client_ids]
+    else:
+        request_tiers = np.zeros(n, dtype=np.int64)
+    if isinstance(report, ColumnarFleetReport):
+        comp_ids = report.req_request_ids[report.comp_req].tolist()
+        comp_models = [
+            report.models[mid]
+            for mid in report.req_model_ids[report.comp_req].tolist()
+        ]
+        comp_latency = report.latency_s.tolist()
+        fail_ids = report.req_request_ids[report.fail_req].tolist()
+        shed_ids = report.req_request_ids[report.shed_req].tolist()
+    else:
+        comp_ids = [r.request.request_id for r in report.completed]
+        comp_models = [r.request.model for r in report.completed]
+        comp_latency = [r.latency_s for r in report.completed]
+        fail_ids = [r.request.request_id for r in report.failed]
+        shed_ids = [r.request.request_id for r in report.shed]
+
+    def tier_of(request_id: int) -> int:
+        if not 0 <= request_id < n:
+            raise ValueError(
+                f"request id {request_id} is not in the trace "
+                f"(0..{n - 1})"
+            )
+        return int(request_tiers[request_id])
+
+    tier_count = len(TIER_NAMES)
+    latencies: list[list[float]] = [[] for _ in range(tier_count)]
+    within = [0] * tier_count
+    failed = [0] * tier_count
+    shed = [0] * tier_count
+    for rid, model, latency in zip(comp_ids, comp_models, comp_latency):
+        tier = tier_of(rid)
+        latencies[tier].append(latency)
+        if latency <= _deadline_for(deadlines, model):
+            within[tier] += 1
+    for rid in fail_ids:
+        failed[tier_of(rid)] += 1
+    for rid in shed_ids:
+        shed[tier_of(rid)] += 1
+    clients = [0] * tier_count
+    for tier in trace.client_tiers.tolist():
+        clients[tier] += 1
+    per_tier = tuple(
+        TierSlo(
+            tier=TIER_NAMES[tier],
+            clients=clients[tier],
+            completed=len(latencies[tier]),
+            failed=failed[tier],
+            shed=shed[tier],
+            p50_s=percentile(latencies[tier], 50.0),
+            p95_s=percentile(latencies[tier], 95.0),
+            p99_s=percentile(latencies[tier], 99.0),
+            within_deadline=within[tier],
+        )
+        for tier in range(tier_count)
+    )
+    return TierSloReport(per_tier=per_tier)

@@ -36,9 +36,16 @@ over unordered containers is involved (model names are taken in
 :func:`generate_requests_batch` draws from ``numpy``'s seeded PCG64
 generator in column order (all gaps, then all model choices, then all
 jitters) — equally deterministic, but a *different stream* from the
-scalar generators at the same seed.  Tests pin this contract
+scalar generators at the same seed.  The client-structured generator
+(:mod:`repro.serving.traffic`) extends the same contract with its own
+documented draw order (population vectors, per-client draws in id
+order, per-request columns in arrival order).  Tests pin this contract
 (``tests/serving/test_determinism.py``); any change to a draw order is
-a breaking change to recorded workloads.
+a breaking change to recorded workloads and traces.
+
+Zero-rate inputs are valid and yield empty streams (an "empty
+scenario" — e.g. a blacked-out region — must be expressible without
+raising); negative rates are rejected.
 """
 
 from __future__ import annotations
@@ -233,9 +240,12 @@ RateFn = Callable[[float], float]
 
 
 def constant_rate(rate: float) -> RateFn:
-    """A flat arrival-rate function (homogeneous Poisson)."""
-    if rate <= 0:
-        raise ValueError("rate must be positive")
+    """A flat arrival-rate function (homogeneous Poisson).
+
+    ``rate`` may be 0 (an empty stream) but not negative.
+    """
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
     return lambda _t: rate
 
 
@@ -253,8 +263,8 @@ def diurnal_rate(
     amplitude ``a`` solved from that ratio, so the time-average rate
     stays ``mean_rate`` regardless of the swing.
     """
-    if mean_rate <= 0 or period_s <= 0:
-        raise ValueError("mean rate and period must be positive")
+    if mean_rate < 0 or period_s <= 0:
+        raise ValueError("mean rate must be non-negative, period positive")
     if peak_to_trough < 1.0:
         raise ValueError("peak_to_trough must be >= 1")
     amplitude = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
@@ -281,8 +291,8 @@ def bursty_rate(
     which the arrival rate jumps to ``burst_rate`` — the regime where
     queues actually build and autoscalers earn their keep.
     """
-    if base_rate <= 0 or burst_rate <= 0:
-        raise ValueError("rates must be positive")
+    if base_rate < 0 or burst_rate < 0:
+        raise ValueError("rates must be non-negative")
     if burst_rate < base_rate:
         raise ValueError("burst rate must be >= base rate")
     if any(start < 0 or duration <= 0 for start, duration in bursts):
@@ -314,11 +324,18 @@ def generate_requests_pattern(
     probability ``rate_fn(t) / peak_rate``.  Draw order per candidate is
     inter-arrival, acceptance, then (for accepted arrivals) model choice
     and jitter — the seeding contract in the module docstring.
+
+    ``peak_rate`` may be 0 (an empty scenario yields an empty stream);
+    negative rates are rejected.
     """
-    if peak_rate <= 0 or duration_s <= 0:
-        raise ValueError("peak rate and duration must be positive")
+    if peak_rate < 0 or duration_s <= 0:
+        raise ValueError(
+            "peak rate must be non-negative, duration positive"
+        )
     if not 0.0 <= service_jitter < 1.0:
         raise ValueError("service jitter must be in [0, 1)")
+    if peak_rate == 0:
+        return []
     rng = random.Random(seed)
     names = list(mix.shares)
     weights = [mix.shares[name] for name in names]
@@ -372,13 +389,26 @@ def generate_requests_batch(
 
     Engine compatibility: both (the oracle engine materializes the
     batch into ``Request`` objects first).
+
+    ``arrival_rate`` may be 0 — the batch is empty but keeps the
+    mix's model table; negative rates are rejected.
     """
-    if arrival_rate <= 0 or duration_s <= 0:
-        raise ValueError("arrival rate and duration must be positive")
+    if arrival_rate < 0 or duration_s <= 0:
+        raise ValueError(
+            "arrival rate must be non-negative, duration positive"
+        )
     if not 0.0 <= service_jitter < 1.0:
         raise ValueError("service jitter must be in [0, 1)")
     rng = np.random.default_rng(seed)
     names = tuple(mix.shares)
+    if arrival_rate == 0:
+        return RequestBatch(
+            models=names,
+            arrival_s=np.empty(0, dtype=np.float64),
+            service_s=np.empty(0, dtype=np.float64),
+            model_ids=np.empty(0, dtype=np.int64),
+            request_ids=np.empty(0, dtype=np.int64),
+        )
     expected = arrival_rate * duration_s
     arrivals = np.empty(0, dtype=np.float64)
     clock = 0.0
@@ -428,12 +458,16 @@ def generate_requests(
     ``service_jitter`` adds a uniform ±fraction to service times
     (prompt-length variation etc.).  Deterministic per the module's
     seeding contract: per request, the draws are inter-arrival, model
-    choice, jitter.
+    choice, jitter.  A zero ``arrival_rate`` yields an empty stream.
     """
-    if arrival_rate <= 0 or duration_s <= 0:
-        raise ValueError("arrival rate and duration must be positive")
+    if arrival_rate < 0 or duration_s <= 0:
+        raise ValueError(
+            "arrival rate must be non-negative, duration positive"
+        )
     if not 0.0 <= service_jitter < 1.0:
         raise ValueError("service jitter must be in [0, 1)")
+    if arrival_rate == 0:
+        return []
     rng = random.Random(seed)
     names = list(mix.shares)
     weights = [mix.shares[name] for name in names]

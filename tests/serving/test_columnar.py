@@ -147,9 +147,16 @@ class TestGenerateRequestsBatch:
         assert 9_000 < len(batch) < 11_000
 
     def test_invalid_parameters_rejected(self):
+        # Zero rate is a valid empty scenario: empty columns, but the
+        # model table survives.
+        empty = generate_requests_batch(
+            MIX, arrival_rate=0.0, duration_s=10.0
+        )
+        assert len(empty) == 0
+        assert empty.models == tuple(MIX.shares)
         with pytest.raises(ValueError):
             generate_requests_batch(
-                MIX, arrival_rate=0.0, duration_s=10.0
+                MIX, arrival_rate=-1.0, duration_s=10.0
             )
         with pytest.raises(ValueError):
             generate_requests_batch(

@@ -1,10 +1,11 @@
 """Determinism tests: the simulators are pure functions of their seeds.
 
-Every stochastic entry point (workload generation, fault-schedule
-generation, the fleet simulator itself) must yield byte-identical
-output for a fixed seed and different output for a different seed.
-The draw-order contracts that make this hold are documented in
-``repro.serving.workload`` and ``repro.serving.faults``.
+Every stochastic entry point (workload generation, client-structured
+traffic generation, fault-schedule generation, the fleet simulator
+itself) must yield byte-identical output for a fixed seed and
+different output for a different seed.  The draw-order contracts that
+make this hold are documented in ``repro.serving.workload``,
+``repro.serving.traffic`` and ``repro.serving.faults``.
 """
 
 import json
@@ -14,6 +15,15 @@ from repro.serving.fleet import (
     PoolSpec,
     affine_batch_latency,
     simulate_fleet,
+)
+from repro.serving.traffic import (
+    BurstModel,
+    ClientPopulation,
+    cards_from_mix,
+    dumps_trace,
+    generate_traffic,
+    poissonized,
+    save_trace,
 )
 from repro.serving.workload import (
     WorkloadMix,
@@ -72,6 +82,72 @@ class TestWorkloadDeterminism:
                 for _ in range(2)
             ]
             assert requests_as_json(runs[0]) == requests_as_json(runs[1])
+
+
+class TestTrafficDeterminism:
+    """The traffic generator's draw-order contract, pinned at the byte
+    level: a seed fully determines the serialized trace, and every
+    representation of one trace (JSONL file, ``Request`` list,
+    ``RequestBatch``) describes the identical stream."""
+
+    def population(self):
+        return ClientPopulation(
+            cards=cards_from_mix(MIX),
+            n_clients=30,
+            mean_rate_per_client=0.1,
+            burst=BurstModel(
+                mean_on_s=30.0, mean_off_s=120.0, on_factor=4.0
+            ),
+            model_loyalty=0.4,
+            property_spread=0.5,
+        )
+
+    def test_same_seed_byte_identical_trace_file(self, tmp_path):
+        paths = []
+        for run in range(2):
+            trace = generate_traffic(
+                self.population(), duration_s=600.0, seed=21
+            )
+            path = tmp_path / f"run{run}.jsonl"
+            save_trace(trace, str(path))
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_different_seed_differs(self):
+        first = generate_traffic(
+            self.population(), duration_s=600.0, seed=21
+        )
+        second = generate_traffic(
+            self.population(), duration_s=600.0, seed=22
+        )
+        assert dumps_trace(first) != dumps_trace(second)
+
+    def test_representations_describe_one_stream(self):
+        # Cross-representation pin: materializing the trace as Request
+        # objects and reading its columnar batch must yield the same
+        # (id, arrival, model, service) stream, element for element.
+        trace = generate_traffic(
+            self.population(), duration_s=600.0, seed=23
+        )
+        requests = trace.to_requests()
+        assert len(requests) == len(trace.batch)
+        for i, request in enumerate(requests):
+            assert request.request_id == int(
+                trace.batch.request_ids[i]
+            )
+            assert request.arrival_s == float(trace.batch.arrival_s[i])
+            assert request.service_s == float(trace.batch.service_s[i])
+            assert request.model == trace.models[
+                int(trace.batch.model_ids[i])
+            ]
+
+    def test_poissonized_twin_deterministic(self):
+        trace = generate_traffic(
+            self.population(), duration_s=600.0, seed=21
+        )
+        assert dumps_trace(poissonized(trace, seed=2)) == dumps_trace(
+            poissonized(trace, seed=2)
+        )
 
 
 class TestFaultDeterminism:

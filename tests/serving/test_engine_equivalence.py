@@ -39,7 +39,17 @@ from repro.serving.resilience import (
     HedgeConfig,
     ResilienceConfig,
 )
-from repro.serving.slo import slo_report
+from repro.serving.slo import slo_report, tier_slo_report
+from repro.serving.traffic import (
+    BurstModel,
+    ClientPopulation,
+    cards_from_mix,
+    dumps_trace,
+    generate_traffic,
+    loads_trace,
+    poissonized,
+    steps_spec,
+)
 from repro.serving.workload import WorkloadMix, generate_requests
 
 MODELS = ("sd", "muse", "video")
@@ -208,6 +218,79 @@ def test_random_fleets_bit_exact(scenario):
     assert_engines_agree(*scenario)
 
 
+@st.composite
+def traffic_traces(draw):
+    """A random client-structured trace, replayed through the JSONL
+    round trip so the engines consume exactly what a trace file
+    carries — not an in-memory shortcut."""
+    model_count = draw(st.integers(min_value=1, max_value=3))
+    names = MODELS[:model_count]
+    mix = _mix(model_count)
+    if draw(st.booleans()):
+        mean_on = draw(st.sampled_from((20.0, 60.0)))
+        mean_off = draw(st.sampled_from((120.0, 300.0)))
+        cap = (mean_on + mean_off) / mean_on  # 1 / p_on
+        burst = BurstModel(
+            mean_on_s=mean_on,
+            mean_off_s=mean_off,
+            on_factor=min(draw(st.sampled_from((2.0, 5.0))), 0.99 * cap),
+        )
+    else:
+        burst = None
+    population = ClientPopulation(
+        cards=cards_from_mix(
+            mix, {names[0]: (steps_spec(),)}
+        ),
+        n_clients=draw(st.integers(min_value=1, max_value=30)),
+        mean_rate_per_client=draw(
+            st.floats(min_value=0.01, max_value=0.3)
+        ),
+        tail_alpha=draw(st.floats(min_value=1.3, max_value=2.5)),
+        burst=burst,
+        model_loyalty=draw(st.floats(min_value=0.0, max_value=1.0)),
+        property_spread=draw(st.floats(min_value=0.0, max_value=1.5)),
+    )
+    trace = generate_traffic(
+        population,
+        duration_s=draw(st.floats(min_value=30.0, max_value=120.0)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+    if draw(st.booleans()):
+        trace = poissonized(
+            trace, seed=draw(st.integers(min_value=0, max_value=2**16))
+        )
+    return loads_trace(dumps_trace(trace))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=traffic_traces(),
+    servers=st.integers(min_value=1, max_value=4),
+    max_batch=st.integers(min_value=1, max_value=4),
+    policy=st.sampled_from(("fifo", "sjf", "affinity")),
+)
+def test_replayed_traces_bit_exact(trace, servers, max_batch, policy):
+    """Client-structured workloads through both engines: bit-identical
+    reports, SLO accounting, and per-tier breakdowns."""
+    pool = PoolSpec(
+        name="pool0",
+        machine="dgx-a100-80g",
+        servers=servers,
+        latency_fns=_latency_fns(trace.models),
+        max_batch=max_batch,
+        policy=policy_from_name(policy),
+    )
+    oracle = simulate_fleet(trace, [pool])
+    columnar = simulate_fleet_columnar(trace, [pool])
+    assert columnar.to_report() == oracle
+    assert slo_report(columnar, DEADLINES) == slo_report(
+        oracle, DEADLINES
+    )
+    assert tier_slo_report(
+        columnar, trace, DEADLINES
+    ) == tier_slo_report(oracle, trace, DEADLINES)
+
+
 class TestTargetedScenarios:
     """Deterministic scenarios pinning each mechanism's hardest path
     (kept out of hypothesis so a failure names its mechanism)."""
@@ -307,6 +390,32 @@ class TestTargetedScenarios:
                 scale_down_backlog=0.5, startup_s=3.0, cooldown_s=5.0,
             ),
             RESILIENCE_OFF,
+        )
+
+    def test_bursty_trace_under_admission_control(self):
+        # The serve3 mechanism in miniature: an overdispersed
+        # client-structured trace against a token-bucket front door.
+        population = ClientPopulation(
+            cards=cards_from_mix(_mix(2)),
+            n_clients=25,
+            mean_rate_per_client=0.15,
+            tail_alpha=1.5,
+            burst=BurstModel(
+                mean_on_s=20.0, mean_off_s=100.0, on_factor=5.0
+            ),
+        )
+        trace = loads_trace(dumps_trace(generate_traffic(
+            population, duration_s=150.0, seed=17
+        )))
+        resilience = ResilienceConfig(
+            admission=AdmissionConfig(
+                max_queue_depth=12, wait_budget_s=15.0,
+                rate_per_s=1.05 * trace.offered_rate, burst=6.0,
+            )
+        )
+        assert_engines_agree(
+            trace, self._pools(servers=2),
+            NO_RETRIES, FAULT_FREE, None, resilience,
         )
 
     def test_full_stack_everything_on(self):

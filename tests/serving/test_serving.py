@@ -83,8 +83,12 @@ class TestGeneration:
         assert arrivals[-1] < 50.0
 
     def test_invalid_args(self, mix):
+        # Zero rate is a valid empty scenario; negatives are not.
+        assert generate_requests(
+            mix, arrival_rate=0.0, duration_s=10.0
+        ) == []
         with pytest.raises(ValueError):
-            generate_requests(mix, arrival_rate=0.0, duration_s=10.0)
+            generate_requests(mix, arrival_rate=-1.0, duration_s=10.0)
         with pytest.raises(ValueError):
             generate_requests(
                 mix, arrival_rate=1.0, duration_s=10.0,

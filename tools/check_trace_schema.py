@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""Validate a traffic-trace JSONL file against the v1 schema.
+
+Usage::
+
+    python tools/check_trace_schema.py examples/traces/launch_day_small.jsonl
+
+The trace format (``docs/TRAFFIC.md``) is the interchange boundary of
+the workload layer: traces are committed to the repo, replayed into
+both fleet engines, and diffed byte-for-byte by the determinism suite.
+This checker is the CI gate that a committed trace actually honors the
+contract *without* loading it through ``repro.serving.traffic`` — an
+independent line-by-line validation, so a serializer bug cannot
+self-certify.
+
+Checks, in order per file:
+
+* line 1 is a ``header`` record with the known schema id and version;
+* every line is *canonical* JSON (sorted keys, compact separators) —
+  the property that makes equal traces byte-identical;
+* exactly ``num_clients`` client records, ids ``0..n-1`` in order,
+  rates finite and >= 0, tiers drawn from the known tier names;
+* request ids ``0..n-1`` in order, arrivals monotone non-decreasing
+  within ``[0, duration_s]``, service times finite and > 0;
+* every request's model is in the header's model table, its client id
+  in range, and its combo id indexes that model's combo table;
+* model names are *known*: present in the repository's model registry
+  (``--any-model`` skips this for traces of hypothetical fleets).
+
+Exit status: 0 when every file passes, 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+EXPECTED_SCHEMA = "repro-traffic-trace"
+EXPECTED_VERSION = 1
+TIER_NAMES = ("heavy", "medium", "light")
+
+
+def registry_models() -> frozenset[str]:
+    """Model names the repository's registry can instantiate."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.models.registry import suite_names
+    finally:
+        sys.path.pop(0)
+    return frozenset(suite_names())
+
+
+def canonical(obj: object) -> str:
+    """Canonical one-line JSON (matches the serializer's contract)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def check_header(record: dict, errors: list[str]) -> dict:
+    """Validate the header record; returns it (possibly partial)."""
+    if record.get("kind") != "header":
+        errors.append("line 1: first record must have kind 'header'")
+    if record.get("schema") != EXPECTED_SCHEMA:
+        errors.append(
+            f"line 1: schema {record.get('schema')!r} != "
+            f"{EXPECTED_SCHEMA!r}"
+        )
+    if record.get("version") != EXPECTED_VERSION:
+        errors.append(
+            f"line 1: version {record.get('version')!r} != "
+            f"{EXPECTED_VERSION}"
+        )
+    duration = record.get("duration_s")
+    if not isinstance(duration, float) or not duration > 0.0:
+        errors.append(
+            f"line 1: duration_s must be a positive float, got "
+            f"{duration!r}"
+        )
+    models = record.get("models")
+    if (
+        not isinstance(models, list)
+        or not models
+        or not all(isinstance(name, str) for name in models)
+    ):
+        errors.append("line 1: models must be a non-empty string list")
+    elif len(set(models)) != len(models):
+        errors.append("line 1: duplicate model names in header")
+    combos = record.get("combos")
+    if not isinstance(combos, list) or (
+        isinstance(models, list) and len(combos) != len(models)
+    ):
+        errors.append(
+            "line 1: combos must hold one table per header model"
+        )
+    if not isinstance(record.get("num_clients"), int) or (
+        isinstance(record.get("num_clients"), bool)
+        or record.get("num_clients", -1) < 0
+    ):
+        errors.append("line 1: num_clients must be a non-negative int")
+    if not isinstance(record.get("meta"), dict):
+        errors.append("line 1: meta must be an object")
+    return record
+
+
+def check_trace(path: Path, *, known_models: frozenset[str] | None,
+                max_errors: int = 20) -> list[str]:
+    """Validate one trace file; returns error strings (empty = pass)."""
+    errors: list[str] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return [str(error)]
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    else:
+        errors.append("file must end with a trailing newline")
+    if not lines:
+        return errors + ["empty trace file (no header record)"]
+
+    records: list[dict] = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            errors.append(f"line {number}: invalid JSON ({error.msg})")
+            continue
+        if line != canonical(record):
+            errors.append(
+                f"line {number}: not canonical JSON "
+                "(keys sorted, separators (',', ':'))"
+            )
+        records.append(record)
+    if not records or errors:
+        return errors[:max_errors]
+
+    header = check_header(records[0], errors)
+    duration = header.get("duration_s", math.inf)
+    models = header.get("models") or []
+    combos = header.get("combos") or []
+    num_clients = header.get("num_clients", 0)
+    if known_models is not None:
+        for name in models:
+            if name not in known_models:
+                errors.append(
+                    f"line 1: model {name!r} not in the repository "
+                    "registry (use --any-model to allow)"
+                )
+
+    clients_seen = 0
+    requests_seen = 0
+    last_arrival = 0.0
+    for number, record in enumerate(records[1:], start=2):
+        if len(errors) >= max_errors:
+            errors.append("... further errors suppressed")
+            break
+        kind = record.get("kind")
+        if kind == "client":
+            if requests_seen:
+                errors.append(
+                    f"line {number}: client record after request "
+                    "records"
+                )
+            if record.get("id") != clients_seen:
+                errors.append(
+                    f"line {number}: client id {record.get('id')!r}, "
+                    f"expected {clients_seen} (ids are dense and "
+                    "ordered)"
+                )
+            rate = record.get("rate")
+            if (
+                not isinstance(rate, (int, float))
+                or isinstance(rate, bool)
+                or not math.isfinite(rate)
+                or rate < 0.0
+            ):
+                errors.append(
+                    f"line {number}: client rate must be finite and "
+                    f">= 0, got {rate!r}"
+                )
+            if record.get("tier") not in TIER_NAMES:
+                errors.append(
+                    f"line {number}: unknown tier "
+                    f"{record.get('tier')!r}"
+                )
+            clients_seen += 1
+        elif kind == "request":
+            if record.get("id") != requests_seen:
+                errors.append(
+                    f"line {number}: request id {record.get('id')!r}, "
+                    f"expected {requests_seen}"
+                )
+            arrival = record.get("arrival_s")
+            if (
+                not isinstance(arrival, (int, float))
+                or isinstance(arrival, bool)
+                or not math.isfinite(arrival)
+            ):
+                errors.append(
+                    f"line {number}: bad arrival_s {arrival!r}"
+                )
+            else:
+                if arrival < last_arrival:
+                    errors.append(
+                        f"line {number}: arrival {arrival!r} before "
+                        f"previous arrival {last_arrival!r} "
+                        "(arrivals must be monotone)"
+                    )
+                if not 0.0 <= arrival <= duration:
+                    errors.append(
+                        f"line {number}: arrival {arrival!r} outside "
+                        f"[0, {duration}]"
+                    )
+                last_arrival = max(last_arrival, float(arrival))
+            service = record.get("service_s")
+            if (
+                not isinstance(service, (int, float))
+                or isinstance(service, bool)
+                or not math.isfinite(service)
+                or service <= 0.0
+            ):
+                errors.append(
+                    f"line {number}: service_s must be finite and "
+                    f"> 0, got {service!r}"
+                )
+            client = record.get("client")
+            if not isinstance(client, int) or not (
+                0 <= client < num_clients
+            ):
+                errors.append(
+                    f"line {number}: client {client!r} not in "
+                    f"[0, {num_clients})"
+                )
+            model = record.get("model")
+            if model not in models:
+                errors.append(
+                    f"line {number}: model {model!r} not in the "
+                    "header's model table"
+                )
+            else:
+                table = combos[models.index(model)]
+                combo = record.get("combo")
+                if not isinstance(combo, int) or not (
+                    0 <= combo < len(table)
+                ):
+                    errors.append(
+                        f"line {number}: combo {combo!r} does not "
+                        f"index {model!r}'s combo table "
+                        f"(size {len(table)})"
+                    )
+            requests_seen += 1
+        else:
+            errors.append(f"line {number}: unknown record kind {kind!r}")
+    if clients_seen != num_clients:
+        errors.append(
+            f"header promised {num_clients} clients, file has "
+            f"{clients_seen}"
+        )
+    return errors[: max_errors + 1]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "traces", type=Path, nargs="+",
+        help="trace files in the JSONL schema",
+    )
+    parser.add_argument(
+        "--any-model", action="store_true",
+        help="skip the model-registry membership check",
+    )
+    args = parser.parse_args(argv)
+    known = None if args.any_model else registry_models()
+    failures = 0
+    for path in args.traces:
+        errors = check_trace(path, known_models=known)
+        if errors:
+            failures += 1
+            print(f"FAIL  {path}", file=sys.stderr)
+            for line in errors:
+                print(f"  {line}", file=sys.stderr)
+        else:
+            with path.open(encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+            print(
+                f"ok    {path}: {header['num_clients']} clients, "
+                f"schema v{header['version']}"
+            )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
