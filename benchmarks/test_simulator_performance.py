@@ -136,6 +136,38 @@ def test_strong_scaling_sweep(benchmark):
     assert len(points) == 4 and points[0].world == 1
 
 
+def test_planner_full_sweep(benchmark):
+    """The dist2 hot loop: symbolic search of the whole config space.
+
+    Enumerates and costs every canonical (tp, pp, dp, microbatch,
+    sequence-parallel) config for Stable Diffusion in an 8-GPU budget
+    from one warmed :class:`PlannerBasis` — the amortized path the
+    planner's value proposition rests on (66 configs from ~13 axis
+    builds).  Profiling is warmed outside the measured span so the gate
+    covers the search itself: partition, pricing, prefix algebra,
+    schedule simulation and Pareto filtering.
+    """
+    from repro.distributed.planner import PlannerBasis, plan_parallelism
+    from repro.experiments.suite_cache import model_instance
+
+    model = model_instance("stable_diffusion")
+    machine = "dgx-a100-80g"
+    # Warm the profile memo and the basis' axis caches once.
+    plan_parallelism(model, machine=machine, gpu_budget=8)
+
+    def sweep():
+        basis = PlannerBasis(model, machine)
+        return plan_parallelism(
+            model, machine=machine, gpu_budget=8, basis=basis
+        )
+
+    result = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert len(result.points) == 66
+    assert result.frontier
+    benchmark.extra_info["configs"] = len(result.points)
+    benchmark.extra_info["axis_builds"] = result.stats["axis_builds"]
+
+
 def test_fleet_10k_requests(benchmark):
     """Discrete-event fleet throughput on a >=10k-request day.
 

@@ -17,7 +17,13 @@ argues the field is headed:
   pipeline parallelism over recorded traces;
 * :mod:`repro.distributed.timeline` — per-device timelines with
   compute/communication overlap;
-* :mod:`repro.distributed.scaling` — strong/weak scaling sweeps.
+* :mod:`repro.distributed.scaling` — strong/weak scaling sweeps;
+* :mod:`repro.distributed.schedule` — GPipe vs 1F1B pipeline-schedule
+  simulators with explicit bubble accounting;
+* :mod:`repro.distributed.planner` — parallelism auto-planner:
+  enumerate (tp, pp, dp, microbatch, sequence-parallel) configs and
+  cost them symbolically from cached per-axis bases, emitting
+  Pareto-optimal plans under per-device memory caps.
 
 See ``docs/DISTRIBUTED.md`` for the model's assumptions and
 ``docs/HARDWARE.md`` for the machine registry.
@@ -54,6 +60,18 @@ from repro.distributed.partition import (
     strategy_from_name,
     trace_repeats,
 )
+from repro.distributed.planner import (
+    ParallelConfig,
+    PlannerBasis,
+    PlannerResult,
+    PlanPoint,
+    TPAxis,
+    bruteforce_cost,
+    build_axis,
+    enumerate_configs,
+    pareto_frontier,
+    plan_parallelism,
+)
 from repro.distributed.registry import (
     DGX_A100_40G,
     DGX_A100_80G,
@@ -66,6 +84,13 @@ from repro.distributed.registry import (
     machine_names,
     register_machine,
     render_machine_table,
+)
+from repro.distributed.schedule import (
+    ScheduleResult,
+    forward_makespan,
+    ideal_bubble_fraction,
+    simulate_1f1b,
+    simulate_gpipe,
 )
 from repro.distributed.scaling import (
     ScalingPoint,
@@ -113,20 +138,33 @@ __all__ = [
     "PCIE4_X16",
     "PCIE5_X16",
     "PCIE_A100",
+    "ParallelConfig",
     "PartitionStrategy",
     "PipelineParallel",
+    "PlanPoint",
+    "PlannerBasis",
+    "PlannerResult",
     "ScalingPoint",
+    "ScheduleResult",
     "ShardRole",
     "ShardedEvent",
+    "TPAxis",
     "TensorParallel",
     "TimelineEntry",
     "Topology",
+    "bruteforce_cost",
+    "build_axis",
     "build_timelines",
+    "enumerate_configs",
     "even_split",
     "event_repeat",
+    "forward_makespan",
+    "ideal_bubble_fraction",
     "trace_repeats",
     "machine_from_name",
     "machine_names",
+    "pareto_frontier",
+    "plan_parallelism",
     "proportional_split",
     "register_machine",
     "render_machine_table",
@@ -137,6 +175,8 @@ __all__ = [
     "scaling_table",
     "send_recv_time",
     "shard_op",
+    "simulate_1f1b",
+    "simulate_gpipe",
     "strategy_from_name",
     "strong_scaling",
     "tree_all_reduce_time",

@@ -439,7 +439,12 @@ class PipelineParallel(PartitionStrategy):
             ops[stage] = event.op
             comm = None
             is_stage_end = (
-                stage < self.world - 1 and index == boundaries[stage] - 1
+                stage < self.world - 1
+                and index == boundaries[stage] - 1
+                # A boundary at len(events) is the fill for stages that
+                # own no events (more ranks than events): there is no
+                # downstream stage to feed, so no activation crosses it.
+                and boundaries[stage] < len(events)
             )
             if is_stage_end:
                 comm = CommSpec(
@@ -469,7 +474,12 @@ class PipelineParallel(PartitionStrategy):
         """End index (exclusive) of each of the first ``world-1`` stages.
 
         Greedy time balancing: each stage closes once it holds its
-        proportional share of total trace time.
+        proportional share of total trace time — or at the last index
+        that still leaves one event per remaining stage (without the
+        forced close, one early stage running under its proportional
+        target starves every stage after it: the one-event-per-stage
+        guard then blocks all later closes and the whole trace
+        collapses into stage 0).
         """
         total = sum(event.cost.time_s for event in events)
         boundaries: list[int] = []
@@ -477,10 +487,14 @@ class PipelineParallel(PartitionStrategy):
         target = 1
         for index, event in enumerate(events):
             cumulative += event.cost.time_s
+            remaining = len(events) - (index + 1)
             while (
                 target < self.world
-                and cumulative >= total * target / self.world
-                and len(events) - (index + 1) >= self.world - target
+                and remaining >= self.world - target
+                and (
+                    cumulative >= total * target / self.world
+                    or remaining == self.world - target
+                )
             ):
                 boundaries.append(index + 1)
                 target += 1

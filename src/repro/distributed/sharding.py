@@ -58,11 +58,17 @@ def proportional_split(total: int, weights: list[int]) -> list[int]:
     weight_sum = sum(weights)
     if weight_sum == 0:
         raise ValueError("at least one weight must be positive")
-    raw = [total * w / weight_sum for w in weights]
-    parts = [int(r) for r in raw]
+    # Exact integer arithmetic throughout: a float implementation loses
+    # units once ``total * weight`` approaches 2**53 (token- or
+    # parameter-count splits), leaving the parts sum off by dozens.
+    # Remainders share the denominator ``weight_sum``, so comparing the
+    # numerators ranks fractions exactly.
+    scaled = [total * w for w in weights]
+    parts = [s // weight_sum for s in scaled]
     remainder = total - sum(parts)
     by_fraction = sorted(
-        range(len(weights)), key=lambda i: (raw[i] - parts[i], weights[i]),
+        range(len(weights)),
+        key=lambda i: (scaled[i] % weight_sum, weights[i]),
         reverse=True,
     )
     for i in by_fraction[:remainder]:

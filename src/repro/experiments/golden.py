@@ -258,11 +258,57 @@ def serve3_summary() -> dict:
     return summary
 
 
+def dist2_summary() -> dict:
+    """Parallelism auto-planner search + fleet wiring (dist2).
+
+    Pins, per model × machine combo: the costed tp=8 baseline, the
+    planner's best-throughput and best-latency picks (config label,
+    latency, throughput, memory, bubble), the full Pareto frontier,
+    and the basis amortization counters — plus the goodput/p95 of the
+    auto-planned vs hand-picked fleet replay.  Any drift in the kernel
+    or collective cost models, the symbolic axis algebra, the pipeline
+    schedules or the memory model moves these numbers and fails here.
+    """
+    from repro.experiments.dist2_planner import (
+        MACHINES as dist2_machines,
+        MODELS as dist2_models,
+        _run_fleet as dist2_fleet,
+        _run_searches as dist2_searches,
+    )
+
+    def point(p) -> dict:
+        return {
+            "config": p.config.label,
+            "latency_s": p.latency_s,
+            "throughput_rps": p.throughput_rps,
+            "memory_bytes": p.memory_bytes,
+            "bubble_fraction": p.bubble_fraction,
+        }
+
+    summary: dict = {"fleet": dist2_fleet()}
+    searches = dist2_searches()
+    for _, registry_name in dist2_models:
+        for machine in dist2_machines:
+            result, baseline = searches[(registry_name, machine)]
+            summary[f"{registry_name}|{machine}"] = {
+                "baseline": point(baseline),
+                "best_throughput": point(result.best_throughput()),
+                "best_latency": point(result.best_latency()),
+                "frontier": [point(p) for p in result.frontier],
+                "stats": {
+                    key: float(value)
+                    for key, value in result.stats.items()
+                },
+            }
+    return summary
+
+
 GOLDEN_SUMMARIES: dict[str, Callable[[], dict]] = {
     "table1": table1_summary,
     "table2": table2_summary,
     "fig06_shares": fig6_summary,
     "dist1": dist1_summary,
+    "dist2": dist2_summary,
     "serve1": serve1_summary,
     "serve2": serve2_summary,
     "serve3": serve3_summary,

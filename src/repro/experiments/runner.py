@@ -13,7 +13,7 @@ import argparse
 import sys
 from typing import Callable
 
-from repro.experiments import dist_future_hw
+from repro.experiments import dist2_planner, dist_future_hw
 from repro.experiments import fig01_fleet, fig04_pareto, fig05_roofline
 from repro.experiments import fig06_op_breakdown, fig07_seqlen_profile
 from repro.experiments import fig08_seqlen_distribution, fig09_image_scaling
@@ -41,6 +41,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig12": fig12_cache.run,
     "fig13": fig13_frame_scaling.run,
     "dist1": dist_future_hw.run,
+    "dist2": dist2_planner.run,
     "serve1": serve1_fleet.run,
     "serve2": serve2_resilience.run,
     "serve3": serve3_traffic.run,
@@ -72,8 +73,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment ids (fig1..fig13, table1..table3, dist1, "
-             "serve1..serve3) or 'all'",
+        help="experiment ids (fig1..fig13, table1..table3, "
+             "dist1..dist2, serve1..serve3) or 'all'",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"

@@ -18,6 +18,7 @@ are profiled once and then pure, so they feed **both** fleet engines
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.distributed.registry import MachineSpec, machine_from_name
 from repro.ir.context import AttentionImpl
@@ -30,6 +31,14 @@ from repro.serving.batching import (
 )
 from repro.serving.queueing import QueueReport
 from repro.serving.workload import Request
+
+if TYPE_CHECKING:
+    from repro.distributed.planner import (
+        ParallelConfig,
+        PlannerBasis,
+        PlanPoint,
+    )
+    from repro.serving.fleet import PoolSpec
 
 
 @dataclass(frozen=True)
@@ -97,6 +106,100 @@ def sharded_replica(
         strategy=f"{strategy}={world}",
         latency_fn=interpolated_batch_latency(measured),
     )
+
+
+def replica_from_plan(
+    model: Module,
+    config: "ParallelConfig",
+    *,
+    machine: MachineSpec | str = "dgx-a100-80g",
+    batches: tuple[int, ...] = (1, 2, 4, 8),
+    basis: "PlannerBasis | None" = None,
+    attention_impl: AttentionImpl = AttentionImpl.FLASH,
+    kv_bytes: float = 0.0,
+) -> ShardedReplica:
+    """Build a replica executing one auto-planner configuration.
+
+    The batch-latency curve comes from the planner's symbolic basis
+    (:meth:`repro.distributed.planner.PlannerBasis.replica_latency`),
+    so the replica prices exactly like the plan the search ranked —
+    pipeline wavefront, collectives and boundary transfers included.
+    Pass the ``basis`` used for planning to reuse its cached axes.
+    """
+    if isinstance(machine, str):
+        machine = machine_from_name(machine)
+    # Local import: repro.serving must stay importable without the
+    # profiler/planner stack loaded.
+    from repro.distributed.planner import PlannerBasis
+
+    if basis is None:
+        basis = PlannerBasis(
+            model, machine,
+            attention_impl=attention_impl, kv_bytes=kv_bytes,
+        )
+    measured = {
+        batch: basis.replica_latency(config, batch) for batch in batches
+    }
+    return ShardedReplica(
+        model_name=basis.model_name,
+        machine_name=machine.name,
+        world=config.replica_world,
+        strategy=config.label,
+        latency_fn=interpolated_batch_latency(measured),
+    )
+
+
+def planned_pool(
+    name: str,
+    model: Module,
+    *,
+    machine: MachineSpec | str = "dgx-a100-80g",
+    gpu_budget: int = 8,
+    global_batch: int = 8,
+    objective: str = "throughput",
+    batches: tuple[int, ...] = (1, 2, 4, 8),
+    attention_impl: AttentionImpl = AttentionImpl.FLASH,
+    kv_bytes: float = 0.0,
+    servers: int | None = None,
+    **pool_kwargs: object,
+) -> "tuple[PoolSpec, PlanPoint]":
+    """Run the auto-planner and wire its winning plan into a fleet pool.
+
+    Searches the parallelism space for ``model`` on ``machine``, picks
+    the best feasible plan for ``objective`` (``"throughput"`` or
+    ``"latency"``), and returns a :class:`repro.serving.fleet.PoolSpec`
+    whose servers are that plan's replicas — ``servers`` defaults to
+    the plan's data-parallel degree, so the pool occupies exactly the
+    planned GPU budget — plus the winning :class:`PlanPoint`.
+    """
+    if objective not in ("throughput", "latency"):
+        raise ValueError("objective must be 'throughput' or 'latency'")
+    if isinstance(machine, str):
+        machine = machine_from_name(machine)
+    from repro.distributed.planner import PlannerBasis, plan_parallelism
+    from repro.serving.fleet import pool_from_replicas
+
+    basis = PlannerBasis(
+        model, machine, attention_impl=attention_impl, kv_bytes=kv_bytes,
+    )
+    result = plan_parallelism(
+        model, machine=machine, gpu_budget=gpu_budget,
+        global_batch=global_batch, basis=basis,
+    )
+    point = (
+        result.best_throughput() if objective == "throughput"
+        else result.best_latency()
+    )
+    replica = replica_from_plan(
+        model, point.config, machine=machine, batches=batches, basis=basis,
+    )
+    pool = pool_from_replicas(
+        name,
+        [replica],
+        servers=point.config.dp if servers is None else servers,
+        **pool_kwargs,
+    )
+    return pool, point
 
 
 def simulate_sharded_server(

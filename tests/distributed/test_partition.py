@@ -144,6 +144,33 @@ class TestPipelineParallel:
         counts = plan.collective_counts()
         assert counts.get(CollectiveKind.SEND_RECV, 0) >= 1
 
+    def test_more_ranks_than_events_emits_no_phantom_p2p(self):
+        # Regression: with world > len(events) the trailing stages own
+        # nothing, and the last populated event used to emit a
+        # SEND_RECV into the empty stage after it.
+        trace = transformer_trace(blocks=1)  # 6 events
+        plan = PipelineParallel(8).partition(trace)
+        populated = {event.stage for event in plan.sharded_events}
+        sends = [
+            event for event in plan.sharded_events
+            if event.comm is not None
+        ]
+        # One boundary per *populated* stage pair, none into the void.
+        assert len(sends) == len(populated) - 1
+        for event in sends:
+            assert event.stage + 1 in populated
+
+    def test_world_equal_to_events_keeps_all_boundaries(self):
+        trace = transformer_trace(blocks=1)  # 6 events
+        plan = PipelineParallel(6).partition(trace)
+        sends = sum(
+            1 for event in plan.sharded_events if event.comm is not None
+        )
+        assert sends == 5
+        assert {event.stage for event in plan.sharded_events} == set(
+            range(6)
+        )
+
 
 class TestStrategyFactory:
     def test_known_names(self):

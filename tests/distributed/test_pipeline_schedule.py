@@ -1,0 +1,160 @@
+"""Pipeline schedules: closed forms, 1F1B dominance, degenerate identities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.schedule import (
+    forward_makespan,
+    ideal_bubble_fraction,
+    simulate_1f1b,
+    simulate_gpipe,
+)
+
+stage_counts = st.integers(min_value=1, max_value=6)
+microbatch_counts = st.integers(min_value=1, max_value=12)
+durations = st.floats(min_value=1e-4, max_value=10.0)
+
+
+@st.composite
+def pipelines(draw):
+    """Random (forward, backward, microbatches) pipeline instances."""
+    stages = draw(stage_counts)
+    forward = tuple(draw(durations) for _ in range(stages))
+    backward = tuple(draw(durations) for _ in range(stages))
+    return forward, backward, draw(microbatch_counts)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("stages", [1, 2, 4, 8])
+    @pytest.mark.parametrize("microbatches", [1, 2, 4, 8, 16])
+    def test_uniform_stages_hit_the_classic_bubble(
+        self, stages, microbatches
+    ):
+        # (p - 1) / (m + p - 1), the GPipe/1F1B textbook bubble.
+        forward = (3e-3,) * stages
+        backward = (6e-3,) * stages
+        expected = ideal_bubble_fraction(stages, microbatches)
+        gpipe = simulate_gpipe(forward, backward, microbatches)
+        one_f1b = simulate_1f1b(forward, backward, microbatches)
+        assert gpipe.bubble_fraction == pytest.approx(
+            expected, rel=1e-12, abs=1e-15
+        )
+        assert one_f1b.bubble_fraction == pytest.approx(
+            expected, rel=1e-12, abs=1e-15
+        )
+
+    @pytest.mark.parametrize("stages", [1, 2, 4, 8])
+    @pytest.mark.parametrize("microbatches", [1, 2, 4, 8])
+    def test_uniform_makespan_is_wavefront_length(
+        self, stages, microbatches
+    ):
+        forward = (2e-3,) * stages
+        backward = (4e-3,) * stages
+        expected = (microbatches + stages - 1) * (2e-3 + 4e-3)
+        gpipe = simulate_gpipe(forward, backward, microbatches)
+        assert gpipe.makespan_s == pytest.approx(expected, rel=1e-12)
+        assert forward_makespan(forward, microbatches) == pytest.approx(
+            (microbatches + stages - 1) * 2e-3, rel=1e-12
+        )
+
+
+class TestDegenerateIdentities:
+    def test_single_stage_single_microbatch_is_byte_identical(self):
+        # The planner's pp=1 contract: no float re-association at all.
+        value = 0.8777514269451092
+        assert forward_makespan((value,), 1) == value
+
+    def test_single_stage_has_exactly_zero_bubble(self):
+        for schedule in (simulate_gpipe, simulate_1f1b):
+            result = schedule((1e-3,), (2e-3,), 7)
+            assert result.bubble_fraction == 0.0
+            assert result.makespan_s == pytest.approx(7 * 3e-3, rel=1e-12)
+
+    def test_ideal_bubble_degenerates_to_zero(self):
+        assert ideal_bubble_fraction(1, 1) == 0.0
+        assert ideal_bubble_fraction(1, 64) == 0.0
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            forward_makespan((), 1)
+        with pytest.raises(ValueError):
+            forward_makespan((1.0,), 0)
+        with pytest.raises(ValueError):
+            forward_makespan((-1.0,), 1)
+        with pytest.raises(ValueError):
+            simulate_gpipe((1.0, 1.0), (1.0,), 1)
+        with pytest.raises(ValueError):
+            simulate_1f1b((1.0,), (-1.0,), 1)
+        with pytest.raises(ValueError):
+            ideal_bubble_fraction(0, 1)
+
+
+class TestScheduleProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(instance=pipelines())
+    def test_1f1b_never_bubbles_worse_than_gpipe(self, instance):
+        # The eager schedule skips GPipe's flush barrier, so its
+        # makespan — hence bubble — can only be equal or better (up to
+        # float association: the two schedules sum the same stage times
+        # in different orders).
+        forward, backward, m = instance
+        gpipe = simulate_gpipe(forward, backward, m)
+        one_f1b = simulate_1f1b(forward, backward, m)
+        assert one_f1b.makespan_s <= gpipe.makespan_s * (1 + 1e-9)
+        assert one_f1b.bubble_fraction <= gpipe.bubble_fraction + 1e-9
+
+    @settings(max_examples=200, deadline=None)
+    @given(instance=pipelines())
+    def test_makespan_and_bubble_bounds(self, instance):
+        forward, backward, m = instance
+        per_stage = [f + b for f, b in zip(forward, backward)]
+        for result in (
+            simulate_gpipe(forward, backward, m),
+            simulate_1f1b(forward, backward, m),
+        ):
+            # No stage can finish its own work faster than serially.
+            assert result.makespan_s >= m * max(per_stage) - 1e-12
+            assert result.work_s == pytest.approx(
+                m * sum(per_stage), rel=1e-12
+            )
+            assert 0.0 <= result.bubble_fraction < 1.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(instance=pipelines())
+    def test_in_flight_accounting(self, instance):
+        forward, backward, m = instance
+        gpipe = simulate_gpipe(forward, backward, m)
+        one_f1b = simulate_1f1b(forward, backward, m)
+        # GPipe holds every microbatch until the flush; the eager
+        # schedule can never exceed that.
+        assert gpipe.peak_in_flight == m
+        assert 1 <= one_f1b.peak_in_flight <= m
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        stages=stage_counts,
+        m=microbatch_counts,
+        f=durations,
+        b=durations,
+    )
+    def test_forward_makespan_matches_forward_only_gpipe(
+        self, stages, m, f, b
+    ):
+        del b
+        forward = (f,) * stages
+        assert forward_makespan(forward, m) == pytest.approx(
+            (m + stages - 1) * f, rel=1e-12
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(instance=pipelines())
+    def test_more_microbatches_never_slow_the_wavefront_rate(
+        self, instance
+    ):
+        # Makespan is monotone in m and adds at least max(stage) per
+        # extra microbatch (the bottleneck stage must run it).
+        forward, _, m = instance
+        base = forward_makespan(forward, m)
+        extended = forward_makespan(forward, m + 1)
+        assert extended >= base + max(forward) - 1e-12

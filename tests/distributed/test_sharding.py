@@ -41,6 +41,21 @@ class TestIntegerSplits:
         assert even_split(10, 4) == [3, 3, 2, 2]
         assert sum(even_split(7, 3)) == 7
 
+    def test_huge_totals_stay_exact(self):
+        # Regression: the float-scaled implementation lost integer
+        # resolution above 2**53 (sums came out off by -62 / +5 at
+        # these totals); the split must be exact integer arithmetic.
+        for total in (2**60 + 1, 10**17 + 3):
+            parts = proportional_split(total, [3, 1, 2])
+            assert sum(parts) == total
+            assert all(p >= 0 for p in parts)
+
+    def test_huge_uniform_split_matches_even_split(self):
+        total = 2**60 + 5
+        assert proportional_split(total, [1, 1, 1, 1]) == even_split(
+            total, 4
+        )
+
     def test_invalid_inputs(self):
         with pytest.raises(ValueError):
             proportional_split(-1, [1])
