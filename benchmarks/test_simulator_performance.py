@@ -218,6 +218,70 @@ def test_fleet_10k_requests(benchmark):
     assert report.completion_rate > 0.99
 
 
+def test_fleet_10k_requests_telemetry(benchmark):
+    """The same >=10k-request day with the flight recorder on.
+
+    Gates the overhead of the telemetry hot-path hooks (span event
+    appends, boundary sampling, counter bumps) relative to
+    ``test_fleet_10k_requests`` — the flight recorder's pitch is
+    observability at a small constant factor, not for free.
+    """
+    from repro.obs import Telemetry
+    from repro.serving.faults import RetryPolicy
+    from repro.serving.fleet import (
+        PoolSpec,
+        affine_batch_latency,
+        simulate_fleet,
+    )
+    from repro.serving.workload import WorkloadMix, generate_requests
+
+    mix = WorkloadMix(
+        shares={"sd": 0.7, "muse": 0.3},
+        service_s={"sd": 2.0, "muse": 0.5},
+    )
+    requests = generate_requests(
+        mix, arrival_rate=20.0, duration_s=600.0, seed=7
+    )
+    assert len(requests) >= 10_000
+    pools = [
+        PoolSpec(
+            name="a100",
+            machine="dgx-a100-80g",
+            servers=32,
+            latency_fns={
+                model: affine_batch_latency(
+                    time, marginal_fraction=0.7
+                )
+                for model, time in mix.service_s.items()
+            },
+            max_batch=8,
+        )
+    ]
+    retry = RetryPolicy(max_retries=2, backoff_s=1.0, timeout_s=None)
+    collectors = []
+
+    def fresh_collector():
+        # A collector is single-use; each round needs its own.
+        collectors.append(Telemetry(sample_interval_s=5.0))
+        return (requests, pools), {
+            "retry": retry, "telemetry": collectors[-1],
+        }
+
+    report = benchmark.pedantic(
+        simulate_fleet,
+        setup=fresh_collector,
+        rounds=2,
+        iterations=1,
+    )
+    assert report.offered >= 10_000
+    assert report.completion_rate > 0.99
+    log = collectors[-1].log()
+    assert len(log.spans) == report.offered
+    benchmark.extra_info["span_events"] = sum(
+        len(span.events) for span in log.spans
+    )
+
+
 def test_fleet_1m_requests_columnar(benchmark):
     """A million-user day through the columnar engine (bench-1m).
 

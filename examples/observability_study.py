@@ -1,0 +1,145 @@
+"""Flight-recorder walkthrough: spans, metrics and burn-rate alerts.
+
+A small TTI fleet takes a steady mixed SD/Muse load while one server
+crashes and another straggles; a circuit breaker and hedging are on.
+The same run is executed twice — blind, then instrumented — to show
+that telemetry is purely observational (identical outcomes), and the
+recorded spans/series are then used to answer questions the final
+``FleetReport`` cannot: *when* the queue peaked, *which* servers
+tripped their breakers and for how long, and what one slow request
+actually went through.  Finishes by evaluating the SRE-style
+burn-rate alert rules over the recorded spans.
+
+Run:  python examples/observability_study.py
+      python examples/observability_study.py --save telemetry.jsonl
+
+The committed ``examples/traces/telemetry_small.jsonl`` is the
+``--save`` output of this script, byte-for-byte; regenerate it the
+same way after a schema change.
+"""
+
+import sys
+
+from repro.obs import DEFAULT_RULES, Telemetry, evaluate_alerts, save_telemetry
+from repro.serving import (
+    CircuitBreakerConfig,
+    Crash,
+    FaultSchedule,
+    HedgeConfig,
+    PoolSpec,
+    ResilienceConfig,
+    RetryPolicy,
+    Straggler,
+    WorkloadMix,
+    affine_batch_latency,
+    generate_requests,
+    simulate_fleet,
+    slo_report,
+)
+
+MIX = WorkloadMix(
+    shares={"stable_diffusion": 0.7, "muse": 0.3},
+    service_s={"stable_diffusion": 2.0, "muse": 0.5},
+)
+DEADLINES = {"stable_diffusion": 8.0, "muse": 4.0}
+
+
+def build_pool() -> PoolSpec:
+    return PoolSpec(
+        name="a100",
+        machine="dgx-a100-80g",
+        servers=3,
+        latency_fns={
+            model: affine_batch_latency(service, marginal_fraction=0.6)
+            for model, service in MIX.service_s.items()
+        },
+        max_batch=2,
+    )
+
+
+def run(telemetry: Telemetry | None):
+    requests = generate_requests(
+        MIX, arrival_rate=2.0, duration_s=120.0, seed=11
+    )
+    return simulate_fleet(
+        requests,
+        [build_pool()],
+        retry=RetryPolicy(max_retries=2, backoff_s=0.5, timeout_s=20.0),
+        faults=FaultSchedule(
+            crashes=(Crash(server=0, at_s=30.0, downtime_s=15.0),),
+            stragglers=(
+                Straggler(
+                    server=1, at_s=60.0, duration_s=30.0, slowdown=3.0
+                ),
+            ),
+        ),
+        resilience=ResilienceConfig(
+            breaker=CircuitBreakerConfig(
+                failure_threshold=1, window_s=30.0, cooldown_s=5.0,
+                slow_factor=1.5,
+            ),
+            hedge=HedgeConfig(delay_s=6.0),
+        ),
+        telemetry=telemetry,
+    )
+
+
+def main() -> None:
+    blind = run(telemetry=None)
+    telemetry = Telemetry(
+        sample_interval_s=5.0, meta={"scenario": "observability_study"}
+    )
+    observed = run(telemetry=telemetry)
+    log = telemetry.log()
+    assert len(observed.completed) == len(blind.completed)
+
+    print(slo_report(observed, DEADLINES).render())
+    print()
+
+    # Questions the FleetReport aggregates cannot answer.
+    depth = log.series_named("pool.a100.queue_depth")
+    peak_at = depth.first_time_above(depth.peak - 1)
+    print(
+        f"queue depth peaked at {depth.peak:.0f} "
+        f"(t={peak_at:.0f}s, during the straggler window)"
+    )
+    for server, intervals in log.breaker_open_intervals().items():
+        spans = ", ".join(
+            f"{start:.1f}s..{end:.1f}s" for start, end in intervals
+        )
+        print(f"breaker open on server {server}: {spans}")
+
+    slowest = max(
+        (s for s in log.spans if s.latency_s is not None),
+        key=lambda s: s.latency_s,
+    )
+    print(
+        f"\nslowest request {slowest.request_id} "
+        f"({slowest.model}, {slowest.latency_s:.1f}s):"
+    )
+    for event in slowest.events:
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(event.attrs.items())
+        )
+        print(f"  {event.ts_s:8.2f}s  {event.state:<9} {attrs}")
+
+    firings = evaluate_alerts(log, DEADLINES, DEFAULT_RULES)
+    print()
+    if firings:
+        for firing in firings:
+            print(
+                f"ALERT {firing.rule} [{firing.severity}] "
+                f"{firing.start_s:.0f}s..{firing.end_s:.0f}s "
+                f"(peak {firing.peak_burn:.1f}x)"
+            )
+    else:
+        print("alerts: none fired")
+
+    if "--save" in sys.argv:
+        path = sys.argv[sys.argv.index("--save") + 1]
+        save_telemetry(log, path)
+        print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

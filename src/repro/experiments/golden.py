@@ -258,6 +258,71 @@ def serve3_summary() -> dict:
     return summary
 
 
+def obs1_summary() -> dict:
+    """Telemetry-driven regression attribution (obs1).
+
+    Pins both breaker arms of the obs1 experiment — the SLO
+    accounting, the telemetry counters, the queue-depth peak, the
+    per-server breaker-open interval counts, the tail-overlap
+    attribution fraction and the burn-rate alert firings.  Because
+    every number is computed *from the telemetry log*, this golden is
+    simultaneously the regression contract for the collection
+    pipeline (spans, gauges, events, alerts) and for the experiment's
+    headline attribution.
+    """
+    from repro.experiments.obs1_attribution import (
+        ALERT_RULES,
+        _run_scenarios as obs1_scenarios,
+        tail_overlap_fraction,
+    )
+    from repro.obs import evaluate_alerts
+
+    scenarios, blind_report, deadlines = obs1_scenarios()
+    tuned_p99 = {
+        m.model: m.p99_s for m in scenarios["tuned"][1].per_model
+    }["stable_diffusion"]
+    summary: dict = {
+        "blind_completed": float(len(blind_report.completed)),
+    }
+    for label, (report, slo, log) in scenarios.items():
+        firings = evaluate_alerts(log, deadlines, rules=ALERT_RULES)
+        summary[label] = {
+            "goodput": slo.goodput,
+            "completed": float(len(report.completed)),
+            "failed": float(len(report.failed)),
+            "shed": float(len(report.shed)),
+            "per_model": {
+                entry.model: {
+                    "p50_s": entry.p50_s,
+                    "p95_s": entry.p95_s,
+                    "p99_s": entry.p99_s,
+                }
+                for entry in slo.per_model
+            },
+            "breaker_opens": log.counter_final("breaker_opens"),
+            "retries": log.counter_final("retries"),
+            "queue_depth_peak": log.series_named(
+                "pool.a100.queue_depth"
+            ).peak,
+            "open_intervals_per_server": {
+                str(server): float(len(intervals))
+                for server, intervals in
+                log.breaker_open_intervals().items()
+            },
+            "tail_overlap": tail_overlap_fraction(log, tuned_p99),
+            "alerts": [
+                {
+                    "rule": firing.rule,
+                    "start_s": firing.start_s,
+                    "end_s": firing.end_s,
+                    "peak_burn": firing.peak_burn,
+                }
+                for firing in firings
+            ],
+        }
+    return summary
+
+
 def dist2_summary() -> dict:
     """Parallelism auto-planner search + fleet wiring (dist2).
 
@@ -312,6 +377,7 @@ GOLDEN_SUMMARIES: dict[str, Callable[[], dict]] = {
     "serve1": serve1_summary,
     "serve2": serve2_summary,
     "serve3": serve3_summary,
+    "obs1": obs1_summary,
 }
 
 

@@ -19,6 +19,7 @@ from repro.experiments import fig06_op_breakdown, fig07_seqlen_profile
 from repro.experiments import fig08_seqlen_distribution, fig09_image_scaling
 from repro.experiments import fig10_layouts, fig11_temporal_cost
 from repro.experiments import fig12_cache, fig13_frame_scaling
+from repro.experiments import obs1_attribution
 from repro.experiments import serve1_fleet, serve2_resilience
 from repro.experiments import serve3_traffic
 from repro.experiments import table1_taxonomy, table2_speedup
@@ -45,6 +46,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "serve1": serve1_fleet.run,
     "serve2": serve2_resilience.run,
     "serve3": serve3_traffic.run,
+    "obs1": obs1_attribution.run,
 }
 
 

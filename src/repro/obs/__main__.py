@@ -1,0 +1,5 @@
+"""Module entry point for ``python -m repro.obs``."""
+
+from repro.obs.cli import main
+
+raise SystemExit(main())

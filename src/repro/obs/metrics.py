@@ -1,0 +1,139 @@
+"""Time-series metric types sampled on simulated-time ticks.
+
+The :class:`repro.obs.telemetry.Telemetry` collector samples fleet
+state lazily at every multiple of its ``sample_interval_s``: the
+simulation state is piecewise-constant between events, so a sample at
+boundary ``t`` is taken the moment the event clock first passes ``t``
+and reflects the state after every event at or before ``t`` — no
+sampling events ever enter the simulation heap (which would perturb
+event sequence numbers and change outcomes).  A final sample lands
+exactly at the run's makespan, so every series covers the full run
+and never extends past it.
+
+Two series shapes come out:
+
+* :class:`MetricSeries` — a scalar per sample time.  ``counter``
+  metrics are cumulative and monotone non-decreasing (completions,
+  sheds, breaker opens); ``gauge`` metrics are instantaneous levels
+  (queue depth, busy servers, brownout rung).
+* :class:`HistogramSeries` — a bucket-count row per sample *window*:
+  the observations (completion latencies) that fell in
+  ``(previous sample, this sample]``, bucketed against fixed edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+METRIC_KINDS = ("counter", "gauge")
+"""The two scalar series kinds."""
+
+
+def bucket_index(edges: tuple[float, ...], value: float) -> int:
+    """The histogram bucket a value falls in.
+
+    ``edges`` are the ascending upper bounds of the first
+    ``len(edges)`` buckets; values above the last edge land in the
+    overflow bucket ``len(edges)`` — a histogram row therefore has
+    ``len(edges) + 1`` counts.
+    """
+    for index, edge in enumerate(edges):
+        if value <= edge:
+            return index
+    return len(edges)
+
+
+@dataclass(frozen=True)
+class MetricSeries:
+    """One named scalar time series (counter or gauge).
+
+    ``times`` are strictly increasing sample timestamps; ``values``
+    is aligned.  Counters are cumulative totals at the sample time;
+    gauges are the instantaneous level at the sample time.
+    """
+
+    name: str
+    kind: str
+    times: tuple[float, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in METRIC_KINDS:
+            raise ValueError(
+                f"unknown metric kind {self.kind!r}; "
+                f"known: {METRIC_KINDS}"
+            )
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must align")
+
+    @property
+    def final(self) -> float:
+        """The last sampled value (0.0 for an empty series)."""
+        return self.values[-1] if self.values else 0.0
+
+    @property
+    def peak(self) -> float:
+        """The largest sampled value (0.0 for an empty series)."""
+        return max(self.values) if self.values else 0.0
+
+    def value_at(self, t: float) -> float:
+        """Step-function lookup: the last sample at or before ``t``.
+
+        Returns 0.0 before the first sample — counters start at zero
+        and gauges are unobserved until the first boundary.
+        """
+        value = 0.0
+        for ts, sampled in zip(self.times, self.values):
+            if ts > t:
+                break
+            value = sampled
+        return value
+
+    def first_time_above(self, threshold: float) -> float | None:
+        """Earliest sample time with ``value > threshold``, if any."""
+        for ts, sampled in zip(self.times, self.values):
+            if sampled > threshold:
+                return ts
+        return None
+
+
+@dataclass(frozen=True)
+class HistogramSeries:
+    """A windowed histogram: one bucket-count row per sample window.
+
+    Row ``i`` counts the observations recorded in the half-open
+    window ``(times[i-1], times[i]]`` (from simulation start for the
+    first row), bucketed against ``edges`` as in
+    :func:`bucket_index`; each row has ``len(edges) + 1`` counts
+    (the last is overflow).
+    """
+
+    name: str
+    edges: tuple[float, ...]
+    times: tuple[float, ...]
+    counts: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if list(self.edges) != sorted(self.edges):
+            raise ValueError("histogram edges must be ascending")
+        if len(self.times) != len(self.counts):
+            raise ValueError("times and count rows must align")
+        width = len(self.edges) + 1
+        if any(len(row) != width for row in self.counts):
+            raise ValueError(
+                f"each count row needs {width} buckets"
+            )
+
+    @property
+    def total(self) -> int:
+        """Total observations across every window."""
+        return sum(sum(row) for row in self.counts)
+
+    def totals(self) -> tuple[int, ...]:
+        """Per-bucket totals summed over every window."""
+        width = len(self.edges) + 1
+        sums = [0] * width
+        for row in self.counts:
+            for index, count in enumerate(row):
+                sums[index] += count
+        return tuple(sums)

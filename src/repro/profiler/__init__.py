@@ -47,13 +47,17 @@ from repro.profiler.sweeps import (
     step_sweep,
 )
 from repro.profiler.trace_export import (
+    CATEGORY_LANES,
+    distributed_to_chrome_trace,
     load_chrome_trace,
     parse_chrome_trace,
     save_chrome_trace,
+    save_distributed_chrome_trace,
     to_chrome_trace,
 )
 
 __all__ = [
+    "CATEGORY_LANES",
     "ComponentSummary",
     "CompressedTrace",
     "DiffEntry",
@@ -68,6 +72,7 @@ __all__ = [
     "seqlen_sweep",
     "step_sweep",
     "diff_traces",
+    "distributed_to_chrome_trace",
     "render_diff",
     "InferenceMemoryFootprint",
     "MemorySample",
@@ -93,6 +98,7 @@ __all__ = [
     "profile_model",
     "profile_sharded",
     "save_chrome_trace",
+    "save_distributed_chrome_trace",
     "sequence_length_distribution",
     "sequence_length_profile",
     "speedup_report",

@@ -46,9 +46,13 @@ from __future__ import annotations
 import heapq
 from bisect import insort
 from dataclasses import dataclass
-from typing import Sequence
+from functools import cached_property
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
 
 from repro.serving.faults import FAULT_FREE, NO_RETRIES, FaultSchedule, RetryPolicy
 from repro.serving.fleet import (
@@ -183,12 +187,19 @@ class ColumnarFleetReport:
             service_s=float(self.req_service_s[index]),
         )
 
+    @cached_property
+    def _pools_by_name(self) -> Mapping[str, PoolStats]:
+        return {stats.name: stats for stats in self.pools}
+
     def pool_stats(self, name: str) -> PoolStats:
         """Stats for one pool by name (same lookup as FleetReport)."""
-        for stats in self.pools:
-            if stats.name == name:
-                return stats
-        raise ValueError(f"unknown pool {name!r}")
+        try:
+            return self._pools_by_name[name]
+        except KeyError:
+            known = ", ".join(stats.name for stats in self.pools)
+            raise ValueError(
+                f"unknown pool {name!r}; known pools: {known}"
+            ) from None
 
     def to_report(self) -> FleetReport:
         """Materialize the bit-identical object-form ``FleetReport``.
@@ -347,7 +358,9 @@ class _ColumnarState:
         autoscaler: AutoscalerConfig | None,
         resilience: ResilienceConfig,
         batch: RequestBatch,
+        telemetry: "Telemetry | None" = None,
     ):
+        self.tel = telemetry
         self.retry = retry
         self.autoscaler = autoscaler
         self.res = resilience
@@ -577,6 +590,11 @@ class _ColumnarState:
             self._push(
                 self.res.brownout.check_interval_s, _BROWNOUT, None
             )
+        tel = self.tel
+        if tel is not None:
+            tel.begin(
+                self.pool_names, self.s_pool, self._sample_gauges
+            )
 
         heap = self.heap
         handle = self._handle
@@ -592,17 +610,45 @@ class _ColumnarState:
                         ht == at and head[1] < order_list[ai] + 1
                     ):
                         now, _, kind, payload = pop(heap)
+                        if tel is not None:
+                            tel.advance(now)
                         handle(kind, now, payload)
                         continue
                 ridx = order_list[ai]
                 ai += 1
+                if tel is not None:
+                    tel.advance(at)
                 self._on_arrival(at, ridx)
             elif heap:
                 now, _, kind, payload = pop(heap)
+                if tel is not None:
+                    tel.advance(now)
                 handle(kind, now, payload)
             else:
                 break
         return self._build_report(offered)
+
+    def _sample_gauges(self) -> list[tuple]:
+        """One gauge tuple per pool, in ``POOL_GAUGES`` order."""
+        rows = []
+        for pool in self.pools:
+            open_breakers = 0
+            if self.use_breaker:
+                b_state = self.b_state
+                open_breakers = sum(
+                    1 for sid in range(
+                        pool.sid0, pool.sid0 + pool.nserv
+                    )
+                    if b_state[sid] == 1
+                )
+            rows.append((
+                len(pool.queue),
+                pool.busy_count,
+                pool.active_count,
+                pool.rung,
+                open_breakers,
+            ))
+        return rows
 
     def _handle(self, kind: int, now: float, payload: object) -> None:
         if kind == _FREE:
@@ -629,6 +675,11 @@ class _ColumnarState:
     # -- event handlers (oracle handlers, SoA state) -------------------
 
     def _on_arrival(self, now: float, ridx: int) -> None:
+        if self.tel is not None:
+            self.tel.record_submit(
+                self.r_rid[ridx], self.models[self.r_model[ridx]],
+                now,
+            )
         eid = self._new_entry(ridx, attempts=1, queued_since=now)
         self._enqueue(now, eid)
         if self.res.hedge is not None and not self.e_done[eid]:
@@ -666,6 +717,13 @@ class _ColumnarState:
             if twin != -1 and self.e_is_hedge[eid]:
                 self.hedge_wins += 1
             ridx = self.e_req[eid]
+            if self.tel is not None:
+                self.tel.record_complete(
+                    self.r_rid[ridx], now, pool.spec.name, sid,
+                    self.e_attempts[eid], rung,
+                    hedged=twin != -1,
+                    win=self.e_is_hedge[eid],
+                )
             self.c_req.append(ridx)
             self.c_pool.append(pool.index)
             self.c_server.append(sid)
@@ -676,7 +734,7 @@ class _ColumnarState:
             self.c_hedged.append(1 if twin != -1 else 0)
             self.c_rung.append(rung)
             if twin != -1:
-                self._cancel(twin)
+                self._cancel(twin, now)
             if hedging:
                 insort(
                     self.samples_sorted[self.r_model[ridx]],
@@ -699,6 +757,10 @@ class _ColumnarState:
         self.s_generation[sid] += 1
         batch = self.s_batch[sid]
         pool = self.pools[self.s_pool[sid]]
+        if self.tel is not None:
+            self.tel.record_server(
+                now, "server_crash", sid, pool.spec.name
+            )
         if batch is not None:
             self.s_wasted_s[sid] += now - self.s_batch_start[sid]
             for eid in batch:
@@ -717,6 +779,11 @@ class _ColumnarState:
         if self.s_alive[sid]:
             return
         self.s_alive[sid] = 1
+        if self.tel is not None:
+            self.tel.record_server(
+                now, "server_recover", sid,
+                self.pool_names[self.s_pool[sid]],
+            )
         if self.s_down_since[sid] is not None:
             self.s_down_s[sid] += now - self.s_down_since[sid]
             self.s_down_since[sid] = None
@@ -735,6 +802,10 @@ class _ColumnarState:
         self.s_active[sid] = 1
         self.s_activated_at[sid] = now
         pool = self.pools[self.s_pool[sid]]
+        if self.tel is not None:
+            self.tel.record_scale(
+                now, "server_activate", pool.spec.name, sid
+            )
         pool.pending_activations -= 1
         pool.active_count += 1
         if pool.active_count > pool.peak_servers:
@@ -761,6 +832,10 @@ class _ColumnarState:
                 )
                 pool.pending_activations += 1
                 pool.last_scale_at = now
+                if self.tel is not None:
+                    self.tel.record_scale(
+                        now, "scale_up", pool.spec.name, standby
+                    )
                 self._push(now + config.startup_s, _ACTIVATE, standby)
             elif (
                 backlog <= config.scale_down_backlog
@@ -779,6 +854,10 @@ class _ColumnarState:
                 if idle is not None:
                     self.s_active[idle] = 0
                     pool.active_count -= 1
+                    if self.tel is not None:
+                        self.tel.record_scale(
+                            now, "scale_down", pool.spec.name, idle
+                        )
                     if self.s_activated_at[idle] is not None:
                         self.s_active_s[idle] += (
                             now - self.s_activated_at[idle]
@@ -811,6 +890,10 @@ class _ColumnarState:
         self.e_twin[copy] = eid
         self.e_twin[eid] = copy
         self.hedges_launched += 1
+        if self.tel is not None:
+            self.tel.record_hedge(
+                self.r_rid[self.e_req[eid]], now, pool.spec.name
+            )
         self._place(now, copy, pool)
 
     def _on_probe(self, now: float, sid: int) -> None:
@@ -823,6 +906,11 @@ class _ColumnarState:
         self.b_state[sid] = 2
         self.b_probe[sid] = 0
         self.b_open_s[sid] += now - self.b_opened_at[sid]
+        if self.tel is not None:
+            self.tel.record_breaker(
+                now, sid, self.pool_names[self.s_pool[sid]],
+                "half_open",
+            )
         self._mark_maybe_free(sid)
         self._dispatch(self.pools[self.s_pool[sid]], now)
 
@@ -839,10 +927,18 @@ class _ColumnarState:
                 pool.rung += 1
                 pool.last_rung_change = now
                 self.rung_changes += 1
+                if self.tel is not None:
+                    self.tel.record_rung(
+                        now, pool.spec.name, pool.rung, +1
+                    )
             elif backlog <= config.step_up_backlog and pool.rung > 0:
                 pool.rung -= 1
                 pool.last_rung_change = now
                 self.rung_changes += 1
+                if self.tel is not None:
+                    self.tel.record_rung(
+                        now, pool.spec.name, pool.rung, -1
+                    )
         pending = (
             any(pool.queue for pool in self.pools)
             or any(pool.busy_count for pool in self.pools)
@@ -895,6 +991,11 @@ class _ColumnarState:
             self.f_reason.append(_R_UNROUTABLE)
             self.f_at.append(now)
             self.e_done[eid] = 1
+            if self.tel is not None:
+                self.tel.record_fail(
+                    self.r_rid[ridx], now, "", "unroutable",
+                    self.e_attempts[eid],
+                )
             return
         if admission is not None:
             if (
@@ -920,6 +1021,11 @@ class _ColumnarState:
         self.e_token[eid] += 1
         self.e_pool[eid] = pool.index
         pool.queue.append(eid)
+        if self.tel is not None:
+            self.tel.record_admit(
+                self.r_rid[self.e_req[eid]], now, pool.spec.name,
+                self.e_attempts[eid], self.e_is_hedge[eid],
+            )
         if self.timeout_s is not None:
             self._push(
                 now + self.timeout_s, _TIMEOUT,
@@ -945,6 +1051,10 @@ class _ColumnarState:
     ) -> None:
         if self._twin_alive(eid):
             self.e_cancelled[eid] = 1
+            if self.tel is not None:
+                self.tel.record_cancel(
+                    self.r_rid[self.e_req[eid]], now
+                )
             return
         self.e_done[eid] = 1
         self.sh_req.append(self.e_req[eid])
@@ -952,6 +1062,12 @@ class _ColumnarState:
         self.sh_attempts.append(self.e_attempts[eid])
         self.sh_reason.append(reason)
         self.sh_at.append(now)
+        if self.tel is not None:
+            self.tel.record_shed(
+                self.r_rid[self.e_req[eid]], now,
+                self.pool_names[pool] if pool >= 0 else "",
+                REASON_LABELS[reason],
+            )
 
     def _twin_alive(self, eid: int) -> bool:
         twin = self.e_twin[eid]
@@ -961,13 +1077,15 @@ class _ColumnarState:
             and not self.e_cancelled[twin]
         )
 
-    def _cancel(self, eid: int) -> None:
+    def _cancel(self, eid: int, now: float) -> None:
         self.e_cancelled[eid] = 1
         if self.e_in_queue[eid]:
             self.e_in_queue[eid] = 0
             pidx = self.e_pool[eid]
             if pidx != -1:
                 self.pools[pidx].queue.remove(eid)
+        if self.tel is not None:
+            self.tel.record_cancel(self.r_rid[self.e_req[eid]], now)
 
     def _hedge_delay(self, mid: int) -> float | None:
         config = self.res.hedge
@@ -1035,6 +1153,11 @@ class _ColumnarState:
             self.b_state[sid] = 0
             self.b_probe[sid] = 0
             self.b_failures[sid].clear()
+            if self.tel is not None:
+                self.tel.record_breaker(
+                    now, sid, self.pool_names[self.s_pool[sid]],
+                    "closed",
+                )
 
     def _breaker_failure(self, sid: int, now: float) -> None:
         config = self.res.breaker
@@ -1053,6 +1176,11 @@ class _ColumnarState:
             self.b_opened_at[sid] = now
             self.b_opens[sid] += 1
             self.b_probe[sid] = 0
+            if self.tel is not None:
+                self.tel.record_breaker(
+                    now, sid, self.pool_names[self.s_pool[sid]],
+                    "open",
+                )
             self._push(now + config.cooldown_s, _PROBE, sid)
 
     def _retry_or_fail(
@@ -1064,6 +1192,10 @@ class _ColumnarState:
         if attempts >= self.retry.max_attempts:
             if self._twin_alive(eid):
                 self.e_cancelled[eid] = 1
+                if self.tel is not None:
+                    self.tel.record_cancel(
+                        self.r_rid[self.e_req[eid]], now
+                    )
                 return
             self.e_done[eid] = 1
             self.f_req.append(self.e_req[eid])
@@ -1071,11 +1203,22 @@ class _ColumnarState:
             self.f_attempts.append(attempts)
             self.f_reason.append(reason)
             self.f_at.append(now)
+            if self.tel is not None:
+                self.tel.record_fail(
+                    self.r_rid[self.e_req[eid]], now,
+                    self.pool_names[pool] if pool >= 0 else "",
+                    REASON_LABELS[reason], attempts,
+                )
             return
         backoff = self.retry.backoff_for(
             attempts, self.r_rid[self.e_req[eid]]
         )
         self.e_attempts[eid] = attempts + 1
+        if self.tel is not None:
+            self.tel.record_retry(
+                self.r_rid[self.e_req[eid]], now,
+                REASON_LABELS[reason], backoff, attempts + 1,
+            )
         self._push(now + backoff, _RETRY, eid)
 
     def _select_indices(
@@ -1198,6 +1341,14 @@ class _ColumnarState:
             self.s_batch_model[sid] = mid
             self.s_batch_nominal[sid] = nominal
             self.s_batch_rung[sid] = self._rung_for(pool, mid)
+            if self.tel is not None:
+                for eid in batch:
+                    self.tel.record_dispatch(
+                        self.r_rid[self.e_req[eid]], now,
+                        pool.spec.name, sid, len(batch),
+                        self.s_batch_rung[sid],
+                        self.e_is_hedge[eid],
+                    )
             pool.busy_count += 1
             if self.use_breaker and self.b_state[sid] == 2:
                 self.b_probe[sid] = 1
@@ -1216,6 +1367,8 @@ class _ColumnarState:
         if self.sh_at:
             candidates.append(max(self.sh_at))
         makespan = max(candidates)
+        if self.tel is not None:
+            self.tel.finish(makespan)
 
         breaker_open_s = 0.0
         breaker_opens = 0
@@ -1356,6 +1509,7 @@ def simulate_fleet_columnar(
     faults: FaultSchedule = FAULT_FREE,
     autoscaler: AutoscalerConfig | None = None,
     resilience: ResilienceConfig = RESILIENCE_OFF,
+    telemetry: "Telemetry | None" = None,
 ) -> ColumnarFleetReport:
     """Run the columnar fleet engine to completion.
 
@@ -1368,10 +1522,16 @@ def simulate_fleet_columnar(
     pool/model/rung/batch-size).  Prefer this engine above ~50 k
     requests; prefer ``simulate_fleet(..., engine="auto")`` to choose
     automatically.
+
+    ``telemetry`` takes a fresh :class:`repro.obs.Telemetry`; the
+    emitted spans, fleet events and samples are byte-identical to the
+    oracle's for the same inputs, and passing a collector never
+    changes the simulation outcome.
     """
     _validate_pools(pools)
     batch = _request_columns(requests)
     state = _ColumnarState(
-        pools, retry, faults, autoscaler, resilience, batch
+        pools, retry, faults, autoscaler, resilience, batch,
+        telemetry=telemetry,
     )
     return state.run()

@@ -44,9 +44,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
     from repro.serving.sharded import ShardedReplica
 
 from repro.distributed.registry import machine_from_name
@@ -348,12 +350,19 @@ class FleetReport:
             return 0.0
         return len(self.shed) / self.offered
 
+    @cached_property
+    def _pools_by_name(self) -> Mapping[str, PoolStats]:
+        return {stats.name: stats for stats in self.pools}
+
     def pool_stats(self, name: str) -> PoolStats:
-        """Stats for one pool by name."""
-        for stats in self.pools:
-            if stats.name == name:
-                return stats
-        raise ValueError(f"unknown pool {name!r}")
+        """Stats for one pool by name (error lists the valid names)."""
+        try:
+            return self._pools_by_name[name]
+        except KeyError:
+            known = ", ".join(stats.name for stats in self.pools)
+            raise ValueError(
+                f"unknown pool {name!r}; known pools: {known}"
+            ) from None
 
 
 class _Queued:
@@ -523,6 +532,7 @@ def simulate_fleet(
     autoscaler: AutoscalerConfig | None = None,
     resilience: ResilienceConfig = RESILIENCE_OFF,
     engine: FleetEngine = "oracle",
+    telemetry: "Telemetry | None" = None,
 ):
     """Run the fleet discrete-event simulation to completion.
 
@@ -546,6 +556,13 @@ def simulate_fleet(
     ``.to_report()`` for the object form, or hand it straight to
     :func:`repro.serving.slo.slo_report`); ``"auto"`` picks columnar
     at or above :data:`AUTO_COLUMNAR_THRESHOLD` offered requests.
+
+    ``telemetry`` takes a fresh :class:`repro.obs.Telemetry`
+    collector; both engines emit the same request spans, fleet events
+    and metric samples into it (read ``telemetry.log()`` afterwards).
+    Telemetry is purely observational — passing a collector never
+    changes the simulation outcome, and ``None`` (the default) costs
+    nothing.
     """
     if engine not in FLEET_ENGINES:
         raise ValueError(
@@ -567,10 +584,14 @@ def simulate_fleet(
         return simulate_fleet_columnar(
             requests, pools, retry=retry, faults=faults,
             autoscaler=autoscaler, resilience=resilience,
+            telemetry=telemetry,
         )
     if isinstance(requests, RequestBatch):
         requests = requests.to_requests()
-    state = _FleetState(pools, retry, faults, autoscaler, resilience)
+    state = _FleetState(
+        pools, retry, faults, autoscaler, resilience,
+        telemetry=telemetry,
+    )
     return state.run(requests)
 
 
@@ -584,7 +605,9 @@ class _FleetState:
         faults: FaultSchedule,
         autoscaler: AutoscalerConfig | None,
         resilience: ResilienceConfig = RESILIENCE_OFF,
+        telemetry: "Telemetry | None" = None,
     ):
+        self.tel = telemetry
         self.retry = retry
         self.autoscaler = autoscaler
         self.res = resilience
@@ -647,8 +670,24 @@ class _FleetState:
             self.push(
                 self.res.brownout.check_interval_s, "brownout", None
             )
+        tel = self.tel
+        if tel is not None:
+            pool_index = {
+                id(pool): index
+                for index, pool in enumerate(self.pools)
+            }
+            tel.begin(
+                [pool.spec.name for pool in self.pools],
+                [
+                    pool_index[id(server.pool)]
+                    for server in self.servers
+                ],
+                self._sample_gauges,
+            )
         while self.heap:
             now, _, kind, payload = heapq.heappop(self.heap)
+            if tel is not None:
+                tel.advance(now)
             getattr(self, f"_on_{kind}")(now, payload)
         makespan = max(
             [record.finish_s for record in self.completed]
@@ -657,6 +696,8 @@ class _FleetState:
             + [self.last_arrival],
             default=0.0,
         )
+        if tel is not None:
+            tel.finish(makespan)
         breaker_open_s = 0.0
         breaker_opens = 0
         for server in self.servers:
@@ -694,9 +735,30 @@ class _FleetState:
             resilience=stats,
         )
 
+    def _sample_gauges(self) -> list[tuple]:
+        """One gauge tuple per pool, in ``POOL_GAUGES`` order."""
+        return [
+            (
+                len(pool.queue),
+                pool.busy_count,
+                pool.active_count,
+                pool.rung,
+                sum(
+                    1 for server in pool.servers
+                    if server.breaker is not None
+                    and server.breaker.state == "open"
+                ),
+            )
+            for pool in self.pools
+        ]
+
     # -- event handlers ------------------------------------------------
 
     def _on_arrival(self, now: float, request: Request) -> None:
+        if self.tel is not None:
+            self.tel.record_submit(
+                request.request_id, request.model, now
+            )
         entry = _Queued(request, attempts=1, queued_since_s=now)
         self._enqueue(now, entry)
         if (
@@ -730,6 +792,14 @@ class _FleetState:
             self.rung_completions[rung] += 1
             if entry.twin is not None and entry.is_hedge:
                 self.hedge_wins += 1
+            if self.tel is not None:
+                self.tel.record_complete(
+                    entry.request.request_id, now,
+                    server.pool.spec.name, server.sid,
+                    entry.attempts, rung,
+                    hedged=entry.twin is not None,
+                    win=entry.is_hedge,
+                )
             self.completed.append(
                 FleetCompletion(
                     request=entry.request,
@@ -748,7 +818,7 @@ class _FleetState:
                 )
             )
             if entry.twin is not None:
-                self._cancel(entry.twin)
+                self._cancel(entry.twin, now)
             if self.res.hedge is not None:
                 self.latency_samples.setdefault(
                     entry.request.model, []
@@ -766,6 +836,11 @@ class _FleetState:
         server.alive = False
         server.down_since = now
         server.generation += 1
+        if self.tel is not None:
+            self.tel.record_server(
+                now, "server_crash", server.sid,
+                server.pool.spec.name,
+            )
         if server.batch is not None:
             server.wasted_s += now - server.batch_start
             for entry in server.batch:
@@ -784,6 +859,11 @@ class _FleetState:
         if server.alive:
             return
         server.alive = True
+        if self.tel is not None:
+            self.tel.record_server(
+                now, "server_recover", server.sid,
+                server.pool.spec.name,
+            )
         if server.down_since is not None:
             server.down_s += now - server.down_since
             server.down_since = None
@@ -802,6 +882,11 @@ class _FleetState:
     def _on_activate(self, now: float, server: _Server) -> None:
         server.active = True
         server.activated_at = now
+        if self.tel is not None:
+            self.tel.record_scale(
+                now, "server_activate", server.pool.spec.name,
+                server.sid,
+            )
         server.pool.pending_activations -= 1
         server.pool.peak_servers = max(
             server.pool.peak_servers, server.pool.active_count
@@ -826,6 +911,10 @@ class _FleetState:
                 )
                 pool.pending_activations += 1
                 pool.last_scale_at = now
+                if self.tel is not None:
+                    self.tel.record_scale(
+                        now, "scale_up", pool.spec.name, standby.sid
+                    )
                 self.push(now + config.startup_s, "activate", standby)
             elif (
                 backlog <= config.scale_down_backlog
@@ -840,6 +929,11 @@ class _FleetState:
                 )
                 if idle is not None:
                     idle.active = False
+                    if self.tel is not None:
+                        self.tel.record_scale(
+                            now, "scale_down", pool.spec.name,
+                            idle.sid,
+                        )
                     if idle.activated_at is not None:
                         idle.active_s += now - idle.activated_at
                         idle.activated_at = None
@@ -866,6 +960,10 @@ class _FleetState:
         copy.twin = entry
         entry.twin = copy
         self.hedges_launched += 1
+        if self.tel is not None:
+            self.tel.record_hedge(
+                entry.request.request_id, now, pool.spec.name
+            )
         self._place(now, copy, pool)
 
     def _on_probe(self, now: float, server: _Server) -> None:
@@ -881,6 +979,10 @@ class _FleetState:
         breaker.state = "half_open"
         breaker.probe_in_flight = False
         breaker.open_s += now - breaker.opened_at
+        if self.tel is not None:
+            self.tel.record_breaker(
+                now, server.sid, server.pool.spec.name, "half_open"
+            )
         self._dispatch(server.pool, now)
 
     def _on_brownout(self, now: float, _payload: object) -> None:
@@ -897,10 +999,18 @@ class _FleetState:
                 pool.rung += 1
                 pool.last_rung_change = now
                 self.rung_changes += 1
+                if self.tel is not None:
+                    self.tel.record_rung(
+                        now, pool.spec.name, pool.rung, +1
+                    )
             elif backlog <= config.step_up_backlog and pool.rung > 0:
                 pool.rung -= 1
                 pool.last_rung_change = now
                 self.rung_changes += 1
+                if self.tel is not None:
+                    self.tel.record_rung(
+                        now, pool.spec.name, pool.rung, -1
+                    )
         pending = (
             any(pool.queue for pool in self.pools)
             or any(server.batch is not None for server in self.servers)
@@ -940,6 +1050,11 @@ class _FleetState:
                 )
             )
             entry.done = True
+            if self.tel is not None:
+                self.tel.record_fail(
+                    entry.request.request_id, now, "", "unroutable",
+                    entry.attempts,
+                )
             return
         if admission is not None:
             name = pool.spec.name
@@ -964,6 +1079,11 @@ class _FleetState:
         entry.token += 1
         entry.pool = pool
         pool.queue.append(entry)
+        if self.tel is not None:
+            self.tel.record_admit(
+                entry.request.request_id, now, pool.spec.name,
+                entry.attempts, entry.is_hedge,
+            )
         if self.retry.timeout_s is not None:
             self.push(
                 now + self.retry.timeout_s, "timeout",
@@ -990,6 +1110,8 @@ class _FleetState:
     ) -> None:
         if self._twin_alive(entry):
             entry.cancelled = True  # the hedge copy carries on
+            if self.tel is not None:
+                self.tel.record_cancel(entry.request.request_id, now)
             return
         entry.done = True
         self.shed.append(
@@ -998,6 +1120,10 @@ class _FleetState:
                 attempts=entry.attempts, reason=reason, shed_at_s=now,
             )
         )
+        if self.tel is not None:
+            self.tel.record_shed(
+                entry.request.request_id, now, pool, reason
+            )
 
     def _twin_alive(self, entry: _Queued) -> bool:
         twin = entry.twin
@@ -1005,12 +1131,14 @@ class _FleetState:
             twin is not None and not twin.done and not twin.cancelled
         )
 
-    def _cancel(self, entry: _Queued) -> None:
+    def _cancel(self, entry: _Queued, now: float) -> None:
         entry.cancelled = True
         if entry.in_queue:
             entry.in_queue = False
             if entry.pool is not None:
                 entry.pool.queue.remove(entry)
+        if self.tel is not None:
+            self.tel.record_cancel(entry.request.request_id, now)
 
     def _hedge_delay(self, model: str) -> float | None:
         config = self.res.hedge
@@ -1079,6 +1207,10 @@ class _FleetState:
             breaker.state = "closed"
             breaker.probe_in_flight = False
             breaker.failures.clear()
+            if self.tel is not None:
+                self.tel.record_breaker(
+                    now, server.sid, server.pool.spec.name, "closed"
+                )
 
     def _breaker_failure(self, server: _Server, now: float) -> None:
         breaker = server.breaker
@@ -1100,6 +1232,10 @@ class _FleetState:
             breaker.opened_at = now
             breaker.opens += 1
             breaker.probe_in_flight = False
+            if self.tel is not None:
+                self.tel.record_breaker(
+                    now, server.sid, server.pool.spec.name, "open"
+                )
             self.push(now + config.cooldown_s, "probe", server)
 
     def _retry_or_fail(
@@ -1110,6 +1246,10 @@ class _FleetState:
         if entry.attempts >= self.retry.max_attempts:
             if self._twin_alive(entry):
                 entry.cancelled = True  # the other copy is still trying
+                if self.tel is not None:
+                    self.tel.record_cancel(
+                        entry.request.request_id, now
+                    )
                 return
             entry.done = True
             self.failed.append(
@@ -1119,11 +1259,21 @@ class _FleetState:
                     failed_at_s=now,
                 )
             )
+            if self.tel is not None:
+                self.tel.record_fail(
+                    entry.request.request_id, now, pool, reason,
+                    entry.attempts,
+                )
             return
         backoff = self.retry.backoff_for(
             entry.attempts, entry.request.request_id
         )
         entry.attempts += 1
+        if self.tel is not None:
+            self.tel.record_retry(
+                entry.request.request_id, now, reason, backoff,
+                entry.attempts,
+            )
         self.push(now + backoff, "retry", entry)
 
     def _dispatch(self, pool: _Pool, now: float) -> None:
@@ -1166,6 +1316,13 @@ class _FleetState:
             server.batch_model = model
             server.batch_nominal = nominal
             server.batch_rung = self._rung_for(pool, model)
+            if self.tel is not None:
+                for entry in batch:
+                    self.tel.record_dispatch(
+                        entry.request.request_id, now,
+                        pool.spec.name, server.sid, len(batch),
+                        server.batch_rung, entry.is_hedge,
+                    )
             if (
                 server.breaker is not None
                 and server.breaker.state == "half_open"

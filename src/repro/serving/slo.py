@@ -200,8 +200,15 @@ class SloReport:
                 return entry
         raise ValueError(f"no traffic for model {name!r}")
 
-    def render(self, *, title: str = "SLO accounting") -> str:
-        """Text table of the per-model SLO numbers."""
+    def render(
+        self, *, title: str = "SLO accounting", alerts=None
+    ) -> str:
+        """Text table of the per-model SLO numbers.
+
+        ``alerts`` optionally takes burn-rate alert firings
+        (:func:`repro.obs.evaluate_alerts` output); they are rendered
+        below the table via :func:`render_alerts`.
+        """
         rows = [
             [
                 entry.model,
@@ -219,7 +226,7 @@ class SloReport:
             ]
             for entry in self.per_model
         ]
-        return render_table(
+        table = render_table(
             [
                 "model", "offered", "p50 s", "p95 s", "p99 s",
                 "queue s", "service s", "goodput", "violation s",
@@ -231,6 +238,29 @@ class SloReport:
                 f"availability {self.availability * 100:.2f}%)"
             ),
         )
+        if alerts is None:
+            return table
+        return table + "\n" + render_alerts(alerts)
+
+
+def render_alerts(firings) -> str:
+    """Render burn-rate alert firings as report lines.
+
+    Takes the :class:`repro.obs.AlertFiring` tuple produced by
+    :func:`repro.obs.evaluate_alerts`; an empty tuple renders as a
+    single all-clear line.  Kept here (not in :mod:`repro.obs`) so SLO
+    reports and alert evaluation share one textual surface.
+    """
+    if not firings:
+        return "alerts: none fired"
+    lines = ["alerts:"]
+    lines.extend(
+        f"  {firing.rule} [{firing.severity}] fired "
+        f"{firing.start_s:.1f}s..{firing.end_s:.1f}s "
+        f"(peak burn {firing.peak_burn:.1f}x)"
+        for firing in firings
+    )
+    return "\n".join(lines)
 
 
 def _deadline_for(

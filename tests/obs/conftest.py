@@ -1,0 +1,99 @@
+"""Shared fixture: one instrumented fleet run with rich telemetry."""
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.serving.faults import (
+    Crash,
+    FaultSchedule,
+    RetryPolicy,
+    Straggler,
+)
+from repro.serving.fleet import (
+    PoolSpec,
+    affine_batch_latency,
+    simulate_fleet,
+)
+from repro.serving.resilience import (
+    CircuitBreakerConfig,
+    HedgeConfig,
+    ResilienceConfig,
+)
+from repro.serving.workload import WorkloadMix, generate_requests
+
+SERVICE_S = {"sd": 2.0, "muse": 0.5}
+DEADLINES = {"sd": 8.0, "muse": 3.0}
+
+
+def _pools():
+    fns = {
+        name: affine_batch_latency(time, marginal_fraction=0.6)
+        for name, time in SERVICE_S.items()
+    }
+    return [
+        PoolSpec(
+            name="a100", machine="dgx-a100-80g", servers=3,
+            latency_fns=fns, max_batch=2,
+        ),
+        PoolSpec(
+            name="h100", machine="dgx-h100", servers=1,
+            latency_fns=fns, max_batch=2,
+        ),
+    ]
+
+
+def run_instrumented(telemetry=None):
+    """The fixture scenario: faults, retries, breaker and hedging.
+
+    Small enough to run in well under a second, busy enough that the
+    log contains every record kind — crash retries, breaker
+    open/half-open/close transitions, hedge launches and
+    cancellations, recovery events and a nonempty latency histogram.
+    """
+    mix = WorkloadMix(
+        shares={"sd": 0.7, "muse": 0.3}, service_s=SERVICE_S
+    )
+    requests = generate_requests(
+        mix, arrival_rate=2.5, duration_s=60.0, seed=3
+    )
+    faults = FaultSchedule(
+        crashes=(Crash(server=0, at_s=10.0, downtime_s=8.0),),
+        stragglers=(
+            Straggler(
+                server=1, at_s=20.0, duration_s=15.0, slowdown=3.0
+            ),
+        ),
+    )
+    resilience = ResilienceConfig(
+        breaker=CircuitBreakerConfig(
+            failure_threshold=1, window_s=30.0, cooldown_s=5.0,
+            slow_factor=1.5,
+        ),
+        hedge=HedgeConfig(delay_s=6.0),
+    )
+    return simulate_fleet(
+        requests, _pools(),
+        retry=RetryPolicy(max_retries=2, backoff_s=0.5, timeout_s=20.0),
+        faults=faults, resilience=resilience, telemetry=telemetry,
+    )
+
+
+@pytest.fixture(scope="session")
+def instrumented_runner():
+    """The scenario runner itself, for tests that re-run it."""
+    return run_instrumented
+
+
+@pytest.fixture(scope="session")
+def small_run():
+    """(FleetReport, TelemetryLog) for the shared scenario."""
+    telemetry = Telemetry(
+        sample_interval_s=5.0, meta={"scenario": "conftest"}
+    )
+    report = run_instrumented(telemetry)
+    return report, telemetry.log()
+
+
+@pytest.fixture(scope="session")
+def small_log(small_run):
+    return small_run[1]

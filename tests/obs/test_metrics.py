@@ -1,0 +1,125 @@
+"""Metric series types and the collector's sampling discipline."""
+
+import pytest
+
+from repro.obs import HistogramSeries, MetricSeries
+from repro.obs.metrics import bucket_index
+from repro.obs.telemetry import FLEET_COUNTERS, POOL_GAUGES
+
+
+class TestBucketIndex:
+    def test_edges_are_upper_bounds(self):
+        edges = (1.0, 2.0, 4.0)
+        assert bucket_index(edges, 0.5) == 0
+        assert bucket_index(edges, 1.0) == 0
+        assert bucket_index(edges, 1.5) == 1
+        assert bucket_index(edges, 4.0) == 2
+
+    def test_overflow_bucket(self):
+        assert bucket_index((1.0, 2.0), 99.0) == 2
+
+
+class TestMetricSeries:
+    def test_accessors(self):
+        series = MetricSeries(
+            name="fleet.completed", kind="counter",
+            times=(5.0, 10.0, 15.0), values=(1.0, 4.0, 4.0),
+        )
+        assert series.final == 4.0
+        assert series.peak == 4.0
+        assert series.value_at(0.0) == 0.0
+        assert series.value_at(10.0) == 4.0
+        assert series.value_at(12.0) == 4.0
+        assert series.first_time_above(2.0) == 10.0
+        assert series.first_time_above(99.0) is None
+
+    def test_empty_series(self):
+        series = MetricSeries(
+            name="x", kind="gauge", times=(), values=()
+        )
+        assert series.final == 0.0
+        assert series.peak == 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            MetricSeries(name="x", kind="rate", times=(), values=())
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            MetricSeries(
+                name="x", kind="gauge", times=(1.0,), values=()
+            )
+
+
+class TestHistogramSeries:
+    def test_totals(self):
+        histogram = HistogramSeries(
+            name="fleet.latency_s", edges=(1.0, 2.0),
+            times=(5.0, 10.0),
+            counts=((1, 0, 2), (0, 3, 0)),
+        )
+        assert histogram.total == 6
+        assert histogram.totals() == (1, 3, 2)
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            HistogramSeries(
+                name="x", edges=(2.0, 1.0), times=(), counts=()
+            )
+
+    def test_row_width_enforced(self):
+        with pytest.raises(ValueError, match="buckets"):
+            HistogramSeries(
+                name="x", edges=(1.0,), times=(5.0,), counts=((1,),)
+            )
+
+
+class TestSampledSeries:
+    def test_all_expected_series_exist(self, small_log):
+        names = {series.name for series in small_log.series}
+        expected = {f"fleet.{c}" for c in FLEET_COUNTERS}
+        for pool in small_log.pools:
+            expected |= {f"pool.{pool}.{g}" for g in POOL_GAUGES}
+        assert names == expected
+
+    def test_sample_times_are_interval_multiples(self, small_log):
+        interval = small_log.sample_interval_s
+        for series in small_log.series:
+            assert list(series.times) == sorted(set(series.times))
+            assert series.times[-1] == small_log.makespan_s
+            # Every sample but the final makespan one sits on an
+            # interval boundary, and none extend past the run.
+            for ts in series.times[:-1]:
+                assert ts == round(ts / interval) * interval
+            for ts in series.times:
+                assert ts <= small_log.makespan_s
+
+    def test_counters_are_monotone(self, small_log):
+        for series in small_log.series:
+            if series.kind != "counter":
+                continue
+            assert all(
+                later >= earlier
+                for earlier, later in zip(
+                    series.values, series.values[1:]
+                )
+            )
+
+    def test_counters_match_report(self, small_run):
+        report, log = small_run
+        assert log.counter_final("completed") == len(report.completed)
+        assert log.counter_final("failed") == len(report.failed)
+        assert log.counter_final("shed") == len(report.shed)
+
+    def test_latency_histogram_counts_completions(self, small_run):
+        report, log = small_run
+        histogram = log.histogram_named("fleet.latency_s")
+        assert histogram.total == len(report.completed)
+
+    def test_unknown_names_list_known(self, small_log):
+        with pytest.raises(ValueError, match="known series"):
+            small_log.series_named("pool.a100.bogus")
+        with pytest.raises(ValueError, match="histogram"):
+            small_log.histogram_named("bogus")
+        with pytest.raises(ValueError, match="spans recorded"):
+            small_log.span(10**9)

@@ -1,0 +1,66 @@
+"""Collector lifecycle, configuration guards and derived views."""
+
+import pytest
+
+from repro.obs import Telemetry
+
+
+class TestConstruction:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="interval"):
+            Telemetry(sample_interval_s=0.0)
+
+    def test_edges_must_be_ascending(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Telemetry(histogram_edges_s=(2.0, 1.0))
+
+    def test_collector_is_single_use(self, instrumented_runner):
+        telemetry = Telemetry()
+        instrumented_runner(telemetry)
+        with pytest.raises(RuntimeError, match="fresh collector"):
+            instrumented_runner(telemetry)
+
+    def test_meta_is_carried_into_the_log(self, small_log):
+        assert small_log.meta == {"scenario": "conftest"}
+
+
+class TestDerivedViews:
+    def test_events_named_filters_by_kind(self, small_log):
+        opens = small_log.events_named("breaker_open")
+        assert opens
+        assert all(
+            event.kind == "breaker_open" for event in opens
+        )
+        assert len(opens) == small_log.counter_final("breaker_opens")
+
+    def test_event_timestamps_are_monotone(self, small_log):
+        times = [event.ts_s for event in small_log.events]
+        assert times == sorted(times)
+
+    def test_breaker_open_intervals_pair_up(self, small_log):
+        intervals = small_log.breaker_open_intervals()
+        assert intervals
+        total = sum(len(spans) for spans in intervals.values())
+        assert total == len(small_log.events_named("breaker_open"))
+        for spans in intervals.values():
+            for start, end in spans:
+                assert 0.0 <= start < end <= small_log.makespan_s
+
+    def test_crash_and_recovery_recorded(self, small_log):
+        crashes = small_log.events_named("server_crash")
+        recoveries = small_log.events_named("server_recover")
+        assert len(crashes) == 1
+        assert len(recoveries) == 1
+        assert crashes[0].attrs["server"] == 0
+        assert crashes[0].ts_s < recoveries[0].ts_s
+
+    def test_hedges_recorded(self, small_log):
+        hedged = [
+            span for span in small_log.spans if span.first("hedge")
+        ]
+        assert len(hedged) == small_log.counter_final(
+            "hedges_launched"
+        )
+        for span in hedged:
+            # The losing copy settles with a cancel in the same span.
+            assert span.all("cancel") or span.state != "complete"

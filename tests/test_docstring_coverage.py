@@ -27,6 +27,7 @@ SUBPACKAGES = [
     "repro.optimizations",
     "repro.training",
     "repro.serving",
+    "repro.obs",
     "repro.reporting",
 ]
 

@@ -19,6 +19,7 @@ ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
 RUNNABLE = [
     "fleet_report.py",
     "denoising_steps_study.py",
+    "observability_study.py",
     "resilience_study.py",
     "serving_study.py",
 ]
@@ -43,6 +44,7 @@ class TestExamples:
             "fleet_report.py",
             "image_size_study.py",
             "model_comparison.py",
+            "observability_study.py",
             "quickstart.py",
             "resilience_study.py",
             "serving_and_future_hw_study.py",
