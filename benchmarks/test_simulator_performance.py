@@ -503,3 +503,89 @@ def test_fleet_10k_requests_resilient(benchmark):
     assert report.offered == (
         len(report.completed) + len(report.failed) + len(report.shed)
     )
+
+
+def test_fleet_10k_requests_chaos_campaign(benchmark):
+    """The same >=10k-request day under a compiled chaos campaign.
+
+    The 32 servers are spread over four zone pools; the campaign
+    takes one zone down mid-day (staggered crashes) and degrades a
+    rack link late, with recovery orchestration compiling cordon/
+    uncordon plans and staggered re-admission.  Gates the cost of the
+    domain-fault machinery end to end — campaign compilation plus the
+    extra crash/straggler/control events through the event heap —
+    relative to the fault-free ``test_fleet_10k_requests``.
+    """
+    from repro.serving.chaos import ChaosCampaign
+    from repro.serving.domains import (
+        DegradedLink,
+        OrchestrationConfig,
+        ZoneOutage,
+        topology_for_pools,
+    )
+    from repro.serving.faults import RetryPolicy
+    from repro.serving.fleet import (
+        PoolSpec,
+        affine_batch_latency,
+        simulate_fleet,
+    )
+    from repro.serving.workload import WorkloadMix, generate_requests
+
+    mix = WorkloadMix(
+        shares={"sd": 0.7, "muse": 0.3},
+        service_s={"sd": 2.0, "muse": 0.5},
+    )
+    requests = generate_requests(
+        mix, arrival_rate=20.0, duration_s=600.0, seed=7
+    )
+    assert len(requests) >= 10_000
+    pools = [
+        PoolSpec(
+            name=f"zone{zone}",
+            machine="dgx-a100-80g",
+            servers=8,
+            latency_fns={
+                model: affine_batch_latency(
+                    time, marginal_fraction=0.7
+                )
+                for model, time in mix.service_s.items()
+            },
+            max_batch=8,
+            zone=zone,
+        )
+        for zone in range(4)
+    ]
+    campaign = ChaosCampaign(
+        topology=topology_for_pools(pools),
+        events=(
+            ZoneOutage(zone=1, at_s=150.0, duration_s=120.0,
+                       stagger_s=6.0),
+            DegradedLink(scope="rack", index=2, at_s=380.0,
+                         duration_s=90.0, bandwidth_factor=0.25,
+                         comm_fraction=0.3),
+        ),
+        duration_s=600.0,
+        seed=7,
+    )
+    compiled = campaign.compile(
+        pools=pools,
+        orchestration=OrchestrationConfig(
+            detection_delay_s=10.0, readmission_stagger_s=8.0
+        ),
+    )
+    retry = RetryPolicy(max_retries=2, backoff_s=1.0, timeout_s=None)
+
+    report = benchmark.pedantic(
+        simulate_fleet,
+        args=(requests, pools),
+        kwargs={
+            "retry": retry, "faults": compiled.faults,
+            "plan": compiled.plan,
+        },
+        rounds=2,
+        iterations=1,
+    )
+    assert report.offered >= 10_000
+    assert report.offered == (
+        len(report.completed) + len(report.failed) + len(report.shed)
+    )

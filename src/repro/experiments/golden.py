@@ -258,6 +258,57 @@ def serve3_summary() -> dict:
     return summary
 
 
+def serve4_summary() -> dict:
+    """Chaos-campaign arms under a correlated zone outage (serve4).
+
+    Pins all four serve4 arms — latency percentiles, goodput and the
+    terminal-state decomposition per arm — plus the per-domain
+    availability/MTTD/MTTR table of the orchestrated arm and the
+    engine bit-equality and invariant verdicts.  This is the
+    regression contract for the failure-domain compiler and the
+    recovery-orchestration path: a change to jitter draws, cordon
+    semantics, standby promotion or re-admission staggering moves
+    these numbers and fails here instead of drifting.
+    """
+    from repro.experiments.serve4_chaos import _run_scenarios
+    from repro.serving.slo import percentile
+
+    scenarios, _ = _run_scenarios()
+    summary: dict = {}
+    for entry in scenarios:
+        report = entry["report"]
+        latencies = [
+            record.latency_s for record in report.completed
+        ]
+        summary[entry["label"]] = {
+            "p50_s": percentile(latencies, 50.0),
+            "p99_s": percentile(latencies, 99.0),
+            "goodput": entry["slo"].goodput,
+            "completed": float(len(report.completed)),
+            "failed": float(len(report.failed)),
+            "shed": float(len(report.shed)),
+            "makespan_s": report.makespan_s,
+            "engines_identical": float(entry["engines_identical"]),
+            "invariant_violations": float(sum(
+                len(verdict.violations)
+                for verdict in entry["invariants"]
+            )),
+        }
+        if entry["label"] == "all-on+orchestration":
+            summary["domains"] = {
+                domain.domain: {
+                    "servers": float(domain.servers),
+                    "events": float(domain.events),
+                    "down_server_s": domain.down_server_s,
+                    "availability": domain.availability,
+                    "mttd_s": domain.mttd_s,
+                    "mttr_s": domain.mttr_s,
+                }
+                for domain in entry["domains"].per_domain
+            }
+    return summary
+
+
 def obs1_summary() -> dict:
     """Telemetry-driven regression attribution (obs1).
 
@@ -377,6 +428,7 @@ GOLDEN_SUMMARIES: dict[str, Callable[[], dict]] = {
     "serve1": serve1_summary,
     "serve2": serve2_summary,
     "serve3": serve3_summary,
+    "serve4": serve4_summary,
     "obs1": obs1_summary,
 }
 

@@ -21,7 +21,7 @@ from repro.experiments import fig10_layouts, fig11_temporal_cost
 from repro.experiments import fig12_cache, fig13_frame_scaling
 from repro.experiments import obs1_attribution
 from repro.experiments import serve1_fleet, serve2_resilience
-from repro.experiments import serve3_traffic
+from repro.experiments import serve3_traffic, serve4_chaos
 from repro.experiments import table1_taxonomy, table2_speedup
 from repro.experiments import table3_prefill_decode
 from repro.experiments.base import ExperimentResult
@@ -46,6 +46,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "serve1": serve1_fleet.run,
     "serve2": serve2_resilience.run,
     "serve3": serve3_traffic.run,
+    "serve4": serve4_chaos.run,
     "obs1": obs1_attribution.run,
 }
 
@@ -76,7 +77,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         default=["all"],
         help="experiment ids (fig1..fig13, table1..table3, "
-             "dist1..dist2, serve1..serve3) or 'all'",
+             "dist1..dist2, serve1..serve4) or 'all'",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"

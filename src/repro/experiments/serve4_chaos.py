@@ -1,0 +1,369 @@
+"""serve4: correlated failure domains and recovery orchestration.
+
+serve2 protects a fleet against *independent* faults; this experiment
+injects the failure mode that actually dominates availability budgets
+— a whole zone dropping at once — and measures what the recovery path
+does to the retry storm that follows.  A three-zone fleet (one pool
+per zone, warm standbys in each) serves the SD 2.1 / Muse flash mix
+while a chaos campaign takes zone 0 down for two minutes mid-run and
+degrades zone 2's interconnect later (the collective slowdown comes
+from the sharded-profiler's measured communication fraction, not a
+guessed scalar).  Four arms:
+
+1. **no-chaos** — the same fleet and traffic with no campaign (the
+   availability baseline);
+2. **unprotected** — campaign on, no resilience, synchronized
+   recovery: every crashed server rejoins at the same instant and the
+   accumulated retry backlog slams into the restored zone;
+3. **all-on** — serve2's full protection stack (admission, breaker,
+   hedging, profiled brownout ladder), still synchronized recovery;
+4. **all-on+orchestration** — the same stack plus a compiled recovery
+   plan: warm standbys outside the failed domain are promoted at
+   detection time and the zone is re-admitted server-by-server with a
+   stagger that spreads the thundering herd.
+
+Every arm runs on *both* fleet engines and the reports must agree
+bit-for-bit — chaos campaigns are part of the engine-equivalence
+contract, not an oracle-only feature.  Every report must also pass
+the chaos invariant checker (terminal-state uniqueness, conservation,
+clock monotonicity, bounded quality debt): correlated failures may
+degrade service arbitrarily but must never corrupt the accounting.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ClaimCheck, ExperimentResult
+from repro.experiments.serve2_resilience import (
+    _degraded_service_times,
+    _rung,
+)
+from repro.experiments.suite_cache import all_profiles, model_instance
+from repro.profiler.distributed import profile_sharded
+from repro.serving.chaos import check_invariants
+from repro.serving.columnar import simulate_fleet_columnar
+from repro.serving.domains import (
+    DegradedLink,
+    OrchestrationConfig,
+    ZoneOutage,
+    compile_campaign,
+    topology_for_pools,
+)
+from repro.serving.faults import RetryPolicy
+from repro.serving.fleet import (
+    PoolSpec,
+    affine_batch_latency,
+    simulate_fleet,
+)
+from repro.serving.resilience import (
+    RESILIENCE_OFF,
+    AdmissionConfig,
+    BrownoutConfig,
+    CircuitBreakerConfig,
+    HedgeConfig,
+    ResilienceConfig,
+)
+from repro.serving.slo import domain_slo_report, percentile, slo_report
+from repro.serving.workload import WorkloadMix, generate_requests
+
+EXPERIMENT_ID = "serve4"
+
+MODELS = ("stable_diffusion", "muse")
+SHARES = {"stable_diffusion": 0.7, "muse": 0.3}
+SEED = 41
+DURATION_S = 600.0
+ZONES = 3
+SERVERS_PER_ZONE = 3
+STANDBY_PER_ZONE = 2
+LOAD = 0.7
+OUTAGE = dict(at_s=150.0, duration_s=120.0, stagger_s=6.0)
+DEGRADED = dict(at_s=380.0, duration_s=90.0, bandwidth_factor=0.25)
+# Deliberately aggressive: short backoff and many attempts make the
+# synchronized-recovery retry storm visible.
+RETRY = RetryPolicy(
+    max_retries=4, backoff_s=0.5, multiplier=2.0, max_backoff_s=4.0,
+    jitter=0.5, timeout_s=30.0,
+)
+ORCHESTRATION = OrchestrationConfig(
+    detection_delay_s=10.0, readmission_stagger_s=8.0,
+    promote_stagger_s=2.0,
+)
+
+
+def _flash_service_times() -> dict[str, float]:
+    profiles = all_profiles()
+    return {name: profiles[name][1].total_time_s for name in MODELS}
+
+
+def _pools(service_s: dict[str, float]) -> list[PoolSpec]:
+    latency_fns = {
+        model: affine_batch_latency(time, marginal_fraction=0.7)
+        for model, time in service_s.items()
+    }
+    return [
+        PoolSpec(
+            name=f"zone{zone}",
+            machine="dgx-a100-80g",
+            servers=SERVERS_PER_ZONE,
+            latency_fns=latency_fns,
+            max_batch=8,
+            max_servers=SERVERS_PER_ZONE + STANDBY_PER_ZONE,
+            zone=zone,
+        )
+        for zone in range(ZONES)
+    ]
+
+
+def _comm_fraction() -> float:
+    """Measured exposed-collective share of a TP-2 SD replica."""
+    return profile_sharded(
+        model_instance("stable_diffusion"),
+        machine="dgx-a100-80g", world=2, strategy="tp",
+    ).comm_fraction
+
+
+def _campaign_events(comm_fraction: float):
+    return [
+        ZoneOutage(zone=0, **OUTAGE),
+        DegradedLink(
+            scope="zone", index=2, comm_fraction=comm_fraction,
+            **DEGRADED,
+        ),
+    ]
+
+
+def _resilience(deadlines: dict[str, float]) -> ResilienceConfig:
+    """serve2's full protection stack, profiled brownout included."""
+    return ResilienceConfig(
+        admission=AdmissionConfig(
+            max_queue_depth=64,
+            wait_budget_s={
+                model: 2.0 * deadline
+                for model, deadline in deadlines.items()
+            },
+        ),
+        breaker=CircuitBreakerConfig(
+            failure_threshold=3, window_s=60.0, cooldown_s=30.0,
+            slow_factor=2.5,
+        ),
+        hedge=HedgeConfig(quantile=95.0, min_samples=30),
+        brownout=BrownoutConfig(
+            rungs=(
+                _rung(1, _degraded_service_times(1)),
+                _rung(2, _degraded_service_times(2)),
+            ),
+            step_down_backlog=4.0,
+            step_up_backlog=1.0,
+            check_interval_s=5.0,
+            dwell_s=10.0,
+        ),
+    )
+
+
+def _run_scenarios():
+    """All four arms on both engines, with invariant verdicts.
+
+    Returns ``(scenarios, deadlines)`` where each scenario is a dict
+    with the arm label, the (oracle) report, its SLO and domain
+    reports, the engine bit-equality flag, and both engines'
+    invariant verdicts.
+    """
+    service = _flash_service_times()
+    deadlines = {name: 3.0 * service[name] for name in MODELS}
+    pools = _pools(service)
+    topology = topology_for_pools(pools)
+    mix = WorkloadMix(shares=dict(SHARES), service_s=dict(service))
+    capacity = ZONES * SERVERS_PER_ZONE * mix.saturation_rate()
+    requests = generate_requests(
+        mix, arrival_rate=LOAD * capacity, duration_s=DURATION_S,
+        seed=SEED,
+    )
+    events = _campaign_events(_comm_fraction())
+    plain = compile_campaign(
+        topology, events, pools=pools, seed=SEED
+    )
+    orchestrated = compile_campaign(
+        topology, events, pools=pools, seed=SEED,
+        orchestration=ORCHESTRATION,
+    )
+    protection = _resilience(deadlines)
+    arms = [
+        ("no-chaos", None, RESILIENCE_OFF),
+        ("unprotected", plain, RESILIENCE_OFF),
+        ("all-on", plain, protection),
+        ("all-on+orchestration", orchestrated, protection),
+    ]
+    empty = compile_campaign(topology, [], pools=pools, seed=SEED)
+    scenarios = []
+    for label, compiled, resilience in arms:
+        faults = compiled.faults if compiled is not None else None
+        plan = compiled.plan if compiled is not None else None
+        kwargs = dict(
+            retry=RETRY, resilience=resilience, plan=plan
+        )
+        if faults is not None:
+            kwargs["faults"] = faults
+        oracle = simulate_fleet(requests, pools, **kwargs)
+        columnar = simulate_fleet_columnar(
+            requests, pools, **kwargs
+        ).to_report()
+        brownout = resilience.brownout
+        scenarios.append({
+            "label": label,
+            "report": oracle,
+            "slo": slo_report(oracle, deadlines),
+            "domains": domain_slo_report(
+                oracle, compiled if compiled is not None else empty
+            ),
+            "engines_identical": oracle == columnar,
+            "invariants": tuple(
+                check_invariants(requests, rep, brownout=brownout)
+                for rep in (oracle, columnar)
+            ),
+        })
+    return scenarios, deadlines
+
+
+def run() -> ExperimentResult:
+    """Regenerate this experiment and check its claims."""
+    scenarios, _ = _run_scenarios()
+    by_label = {entry["label"]: entry for entry in scenarios}
+    rows: list[list[object]] = []
+    p99: dict[str, float] = {}
+    for entry in scenarios:
+        report = entry["report"]
+        latencies = [
+            record.latency_s for record in report.completed
+        ]
+        p99[entry["label"]] = percentile(latencies, 99.0)
+        zone0 = entry["domains"].domain("zone:0")
+        rows.append([
+            entry["label"],
+            f"{percentile(latencies, 50.0):.2f}",
+            f"{p99[entry['label']]:.2f}",
+            f"{entry['slo'].goodput * 100:.1f}%",
+            len(report.completed),
+            len(report.shed),
+            len(report.failed),
+            f"{zone0.availability * 100:.2f}%",
+            (
+                "—" if zone0.mttr_s is None
+                else f"{zone0.mttr_s:.0f}s"
+            ),
+        ])
+
+    baseline = by_label["no-chaos"]
+    storm = by_label["unprotected"]
+    protected = by_label["all-on"]
+    managed = by_label["all-on+orchestration"]
+    engines_ok = all(
+        entry["engines_identical"] for entry in scenarios
+    )
+    invariants_ok = all(
+        verdict.ok
+        for entry in scenarios
+        for verdict in entry["invariants"]
+    )
+    zone0_managed = managed["domains"].domain("zone:0")
+    claims = [
+        ClaimCheck(
+            claim="a zone outage with synchronized recovery degrades "
+            "the unprotected fleet: goodput drops and the "
+            "post-recovery retry surge inflates tail latency",
+            paper="correlated failures dominate availability budgets",
+            measured=(
+                f"goodput {baseline['slo'].goodput * 100:.1f}% -> "
+                f"{storm['slo'].goodput * 100:.1f}%, "
+                f"failed {len(baseline['report'].failed)} -> "
+                f"{len(storm['report'].failed)}, p99 "
+                f"{p99['no-chaos']:.1f}s -> {p99['unprotected']:.1f}s"
+            ),
+            holds=(
+                storm["slo"].goodput < baseline["slo"].goodput
+                and p99["unprotected"] > p99["no-chaos"]
+            ),
+        ),
+        ClaimCheck(
+            claim="recovery orchestration — standby promotion at "
+            "detection plus staggered re-admission — improves "
+            "goodput over the same protection stack with "
+            "synchronized recovery",
+            paper="recovery shape matters as much as protection",
+            measured=(
+                f"goodput {protected['slo'].goodput * 100:.1f}% -> "
+                f"{managed['slo'].goodput * 100:.1f}%, p99 "
+                f"{p99['all-on']:.1f}s -> "
+                f"{p99['all-on+orchestration']:.1f}s"
+            ),
+            holds=(
+                managed["slo"].goodput > protected["slo"].goodput
+            ),
+        ),
+        ClaimCheck(
+            claim="both engines replay every chaos arm "
+            "bit-identically — correlated campaigns and recovery "
+            "plans are inside the engine-equivalence contract",
+            paper="columnar-engine contract (bit-exact oracle parity)",
+            measured=(
+                f"{len(scenarios)} arms compared, "
+                f"{'all' if engines_ok else 'NOT all'} bit-identical"
+            ),
+            holds=engines_ok,
+        ),
+        ClaimCheck(
+            claim="the invariant checker passes on every arm and "
+            "engine: chaos degrades service, never the accounting",
+            paper="simulator invariant (no lost or invented requests)",
+            measured=(
+                f"{sum(len(e['invariants']) for e in scenarios)} "
+                f"reports checked, "
+                f"{'0' if invariants_ok else 'some'} violations"
+            ),
+            holds=invariants_ok,
+        ),
+        ClaimCheck(
+            claim="domain SLO accounting resolves the outage: MTTD "
+            "equals the configured detection delay and the hit "
+            "zone's availability reflects the outage window",
+            paper="MTTR/MTTD as first-class serving metrics",
+            measured=(
+                f"zone:0 MTTD "
+                f"{zone0_managed.mttd_s:.0f}s "
+                f"(configured {ORCHESTRATION.detection_delay_s:.0f}s),"
+                f" availability {zone0_managed.availability * 100:.1f}%"
+            ),
+            holds=(
+                zone0_managed.mttd_s is not None
+                and abs(
+                    zone0_managed.mttd_s
+                    - ORCHESTRATION.detection_delay_s
+                ) < 1e-9
+                and zone0_managed.availability < 1.0
+            ),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Correlated zone failure: chaos campaign, retry storm, "
+        "and recovery orchestration",
+        headers=[
+            "scenario", "p50 s", "p99 s", "goodput", "completed",
+            "shed", "failed", "zone0 avail", "zone0 MTTR",
+        ],
+        rows=rows,
+        claims=claims,
+        notes=[
+            "Campaign: zone 0 down for 120s mid-run (staggered "
+            "crashes), zone 2's interconnect at quarter bandwidth "
+            "for 90s with the collective share measured by the "
+            "TP-2 sharded profile.",
+            "The retry policy is deliberately aggressive (4 retries, "
+            "0.5s base backoff) so synchronized recovery produces a "
+            "visible thundering herd.",
+            "Every arm runs on both fleet engines; reports must be "
+            "bit-identical and pass the chaos invariant checker.",
+            "The overload-tuned protection stack alone can *hurt* "
+            "under correlated recovery (hedges and brownout react to "
+            "the backlog but not to its cause); pairing it with "
+            "recovery orchestration recovers the loss.",
+        ],
+    )

@@ -62,9 +62,16 @@ FLEET_COUNTERS = (
 FLEET_EVENT_KINDS = (
     "breaker_open", "breaker_half_open", "breaker_close",
     "rung_change", "scale_up", "scale_down", "server_activate",
-    "server_crash", "server_recover",
+    "server_crash", "server_recover", "server_cordon",
+    "server_uncordon", "domain_down", "domain_detected", "domain_up",
 )
-"""Every kind a :class:`FleetEvent` may carry."""
+"""Every kind a :class:`FleetEvent` may carry.
+
+``server_cordon``/``server_uncordon`` are recovery-orchestration
+control actions (:mod:`repro.serving.domains`); the ``domain_*`` kinds
+are failure-domain transitions emitted from
+:class:`~repro.serving.faults.DomainMarker` plan entries.
+"""
 
 LATENCY_HISTOGRAM = "fleet.latency_s"
 """Name of the windowed completion-latency histogram."""
@@ -479,10 +486,20 @@ class Telemetry:
     def record_server(
         self, now: float, kind: str, server: int, pool: str
     ) -> None:
-        """A server fault transition (server_crash/server_recover)."""
+        """A server transition (crash/recover/cordon/uncordon)."""
         self._events.append(
             FleetEvent(now, kind, {
                 "server": int(server), "pool": pool,
+            })
+        )
+
+    def record_domain(
+        self, now: float, kind: str, domain: str, event: str
+    ) -> None:
+        """A failure-domain transition (domain_down/detected/up)."""
+        self._events.append(
+            FleetEvent(now, kind, {
+                "domain": domain, "event": event,
             })
         )
 

@@ -54,7 +54,13 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.telemetry import Telemetry
 
-from repro.serving.faults import FAULT_FREE, NO_RETRIES, FaultSchedule, RetryPolicy
+from repro.serving.faults import (
+    FAULT_FREE,
+    NO_RETRIES,
+    FaultSchedule,
+    RecoveryPlan,
+    RetryPolicy,
+)
 from repro.serving.fleet import (
     AutoscalerConfig,
     FailedRequest,
@@ -90,6 +96,7 @@ _R_SHED_RATE, _R_SHED_DEPTH, _R_SHED_WAIT = 3, 4, 5
 # column merged against it).
 _RETRY, _FREE, _CRASH, _RECOVER, _TIMEOUT = 0, 1, 2, 3, 4
 _ACTIVATE, _TICK, _HEDGE, _PROBE, _BROWNOUT = 5, 6, 7, 8, 9
+_CORDON, _UNCORDON, _MARKER = 10, 11, 12
 
 
 @dataclass(frozen=True, eq=False)
@@ -359,12 +366,14 @@ class _ColumnarState:
         resilience: ResilienceConfig,
         batch: RequestBatch,
         telemetry: "Telemetry | None" = None,
+        plan: RecoveryPlan | None = None,
     ):
         self.tel = telemetry
         self.retry = retry
         self.autoscaler = autoscaler
         self.res = resilience
         self.faults = faults
+        self.plan = plan
         self.batch = batch
         self.models = batch.models
         # Request table as plain lists: the hot loop reads scalars.
@@ -450,6 +459,8 @@ class _ColumnarState:
             self.straggler_by_sid.setdefault(window.server, []).append(
                 (window.at_s, window.until_s, window.slowdown)
             )
+        # Chaos-off fast path: skip the per-dispatch window lookup.
+        self.has_stragglers = bool(self.straggler_by_sid)
 
         self.heap: list[tuple[float, int, int, object]] = []
         self.seq = 0
@@ -584,6 +595,19 @@ class _ColumnarState:
                 self._push(
                     crash.at_s, _CRASH, (crash.server, crash.recover_s)
                 )
+        # Plan events consume seqs at the oracle's exact positions:
+        # after crashes, before the autoscaler/brownout ticks.
+        if self.plan is not None:
+            for action in self.plan.actions:
+                if action.server < self.nserv_total:
+                    self._push(
+                        action.at_s,
+                        _CORDON if action.kind == "cordon"
+                        else _UNCORDON,
+                        action.server,
+                    )
+            for marker in self.plan.markers:
+                self._push(marker.at_s, _MARKER, marker)
         if self.autoscaler is not None:
             self._push(self.autoscaler.check_interval_s, _TICK, None)
         if self.res.brownout is not None:
@@ -669,8 +693,14 @@ class _ColumnarState:
             self._on_brownout(now)
         elif kind == _ACTIVATE:
             self._on_activate(now, payload)
-        else:
+        elif kind == _PROBE:
             self._on_probe(now, payload)
+        elif kind == _CORDON:
+            self._on_cordon(now, payload)
+        elif kind == _UNCORDON:
+            self._on_uncordon(now, payload)
+        else:
+            self._on_marker(now, payload)
 
     # -- event handlers (oracle handlers, SoA state) -------------------
 
@@ -872,6 +902,43 @@ class _ColumnarState:
         )
         if pending:
             self._push(now + config.check_interval_s, _TICK, None)
+
+    def _on_cordon(self, now: float, sid: int) -> None:
+        if not self.s_active[sid]:
+            return  # already cordoned / never promoted
+        self.s_active[sid] = 0
+        pool = self.pools[self.s_pool[sid]]
+        pool.active_count -= 1
+        if self.tel is not None:
+            self.tel.record_server(
+                now, "server_cordon", sid, pool.spec.name
+            )
+        if self.s_activated_at[sid] is not None:
+            self.s_active_s[sid] += now - self.s_activated_at[sid]
+            self.s_activated_at[sid] = None
+
+    def _on_uncordon(self, now: float, sid: int) -> None:
+        if self.s_active[sid]:
+            return  # promotion raced an autoscaler activate
+        self.s_active[sid] = 1
+        self.s_activated_at[sid] = now
+        pool = self.pools[self.s_pool[sid]]
+        pool.active_count += 1
+        if self.tel is not None:
+            self.tel.record_server(
+                now, "server_uncordon", sid, pool.spec.name
+            )
+        if pool.active_count > pool.peak_servers:
+            pool.peak_servers = pool.active_count
+        self._mark_maybe_free(sid)
+        self._dispatch(pool, now)
+
+    def _on_marker(self, now: float, marker) -> None:
+        # Observational only — state is never read or written here.
+        if self.tel is not None:
+            self.tel.record_domain(
+                now, marker.kind, marker.domain, marker.event
+            )
 
     def _on_hedge(self, now: float, eid: int) -> None:
         if (
@@ -1323,13 +1390,14 @@ class _ColumnarState:
             for eid in batch:
                 in_queue[eid] = 0
             nominal = self._latency(pool, mid, len(batch))
-            windows = self.straggler_by_sid.get(sid)
             factor = 1.0
-            if windows is not None:
-                for at, until, slowdown in windows:
-                    if at <= now < until:
-                        factor = slowdown
-                        break
+            if self.has_stragglers:
+                windows = self.straggler_by_sid.get(sid)
+                if windows is not None:
+                    for at, until, slowdown in windows:
+                        if at <= now < until:
+                            factor = slowdown
+                            break
             latency = nominal * factor
             last = self.s_last_model[sid]
             if last != -1 and last != mid:
@@ -1510,6 +1578,7 @@ def simulate_fleet_columnar(
     autoscaler: AutoscalerConfig | None = None,
     resilience: ResilienceConfig = RESILIENCE_OFF,
     telemetry: "Telemetry | None" = None,
+    plan: RecoveryPlan | None = None,
 ) -> ColumnarFleetReport:
     """Run the columnar fleet engine to completion.
 
@@ -1532,6 +1601,6 @@ def simulate_fleet_columnar(
     batch = _request_columns(requests)
     state = _ColumnarState(
         pools, retry, faults, autoscaler, resilience, batch,
-        telemetry=telemetry,
+        telemetry=telemetry, plan=plan,
     )
     return state.run()

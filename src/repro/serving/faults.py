@@ -160,14 +160,21 @@ class RetryPolicy:
             self.max_backoff_s if self.max_backoff_s is not None
             else float("inf")
         )
-        base = min(cap, self.backoff_s * self.multiplier ** (failures - 1))
+        # Clamp the exponent before exponentiating: float ** raises
+        # OverflowError near 2**1024, and chaos campaigns legitimately
+        # retry a request hundreds of times.  Below the clamp the value
+        # is bit-identical to the unguarded arithmetic.
+        exponent = failures - 1
+        if exponent > _MAX_BACKOFF_DOUBLINGS and self.multiplier > 1.0:
+            exponent = _MAX_BACKOFF_DOUBLINGS
+        base = min(cap, self.backoff_s * self.multiplier ** exponent)
         if self.jitter == 0.0 or self.backoff_s == 0.0:
             return base
         # Tuple-of-ints seeds hash deterministically (PYTHONHASHSEED
         # only salts str/bytes), so this is stable across processes.
         rng = random.Random(0x5F3759DF ^ (request_id * 0x9E3779B97F4A7C15))
         delay = self.backoff_s
-        for _ in range(failures):
+        for _ in range(min(failures, _MAX_BACKOFF_DOUBLINGS)):
             delay = min(
                 cap,
                 rng.uniform(
@@ -175,6 +182,17 @@ class RetryPolicy:
                 ),
             )
         return (1.0 - self.jitter) * base + self.jitter * delay
+
+
+_MAX_BACKOFF_DOUBLINGS = 64
+"""Exponent clamp inside :meth:`RetryPolicy.backoff_for`.
+
+``multiplier ** (failures - 1)`` overflows a float once ``failures``
+reaches a few hundred (chaos campaigns and hypothesis runs legitimately
+produce such counts); past 64 doublings the un-capped delay already
+exceeds any practical ``max_backoff_s``, so clamping the exponent first
+changes nothing observable while keeping the arithmetic finite.
+"""
 
 
 NO_RETRIES = RetryPolicy(max_retries=0, backoff_s=0.0, timeout_s=None)
@@ -199,7 +217,13 @@ class FaultSchedule:
         return not self.crashes and not self.stragglers
 
     def for_server(self, server: int) -> "FaultSchedule":
-        """The sub-schedule targeting one server."""
+        """The sub-schedule targeting one server.
+
+        Empty schedules short-circuit to ``self`` — the chaos-off fast
+        path allocates nothing per call.
+        """
+        if not self.crashes and not self.stragglers:
+            return self
         return FaultSchedule(
             crashes=tuple(
                 crash for crash in self.crashes if crash.server == server
@@ -212,6 +236,106 @@ class FaultSchedule:
 
 
 FAULT_FREE = FaultSchedule()
+
+
+CONTROL_KINDS = ("cordon", "uncordon")
+"""Valid :class:`ControlAction` kinds.
+
+``cordon`` drains a server: it stops taking new batches but finishes
+the one in flight (and, unlike a crash, loses no work).  ``uncordon``
+returns a cordoned or cold-standby server to service — promotion of a
+warm standby is an ``uncordon`` of a server that started inactive.
+"""
+
+MARKER_KINDS = ("domain_down", "domain_detected", "domain_up")
+"""Valid :class:`DomainMarker` kinds (domain-transition telemetry)."""
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """One scheduled orchestration action on one server.
+
+    Attributes:
+        at_s: simulation time the action fires.
+        kind: one of :data:`CONTROL_KINDS`.
+        server: fleet-wide server id the action targets.
+    """
+
+    at_s: float
+    kind: str
+    server: int
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0 or self.server < 0:
+            raise ValueError("invalid control action")
+        if self.kind not in CONTROL_KINDS:
+            raise ValueError(
+                f"unknown control kind {self.kind!r}; "
+                f"known: {CONTROL_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class DomainMarker:
+    """A domain-transition annotation the engines emit to telemetry.
+
+    Markers are purely observational: they never read or write
+    simulation state, so a plan with markers and no actions produces a
+    bit-identical report to ``plan=None`` (the extra no-op heap events
+    only advance the telemetry clock).
+
+    Attributes:
+        at_s: simulation time of the transition.
+        kind: one of :data:`MARKER_KINDS`.
+        domain: domain label (``"zone:2"``, ``"rack:0"``).
+        event: campaign event kind that caused it (``"zone_outage"``).
+    """
+
+    at_s: float
+    kind: str
+    domain: str
+    event: str
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("marker time must be non-negative")
+        if self.kind not in MARKER_KINDS:
+            raise ValueError(
+                f"unknown marker kind {self.kind!r}; "
+                f"known: {MARKER_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """A compiled orchestration schedule for one simulation run.
+
+    Produced by :func:`repro.serving.domains.compile_campaign` from a
+    domain topology plus an
+    :class:`~repro.serving.domains.OrchestrationConfig`; consumed by
+    both fleet engines via ``simulate_fleet(..., plan=...)``.  Because
+    fault schedules are known inputs, recovery orchestration compiles
+    to *scheduled* control actions — warm-standby promotion at
+    detection time, staggered re-admission after recovery — rather
+    than runtime feedback, which keeps both engines bit-identical with
+    zero new decision logic.
+    """
+
+    actions: tuple[ControlAction, ...] = ()
+    markers: tuple[DomainMarker, ...] = ()
+
+    def __post_init__(self) -> None:
+        times = [action.at_s for action in self.actions]
+        if times != sorted(times):
+            raise ValueError("control actions must be time-ordered")
+        times = [marker.at_s for marker in self.markers]
+        if times != sorted(times):
+            raise ValueError("markers must be time-ordered")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan schedules nothing."""
+        return not self.actions and not self.markers
 
 
 def generate_faults(

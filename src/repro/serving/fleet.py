@@ -58,7 +58,9 @@ from repro.serving.batching import BatchLatencyFn
 from repro.serving.faults import (
     FAULT_FREE,
     NO_RETRIES,
+    DomainMarker,
     FaultSchedule,
+    RecoveryPlan,
     RetryPolicy,
 )
 from repro.serving.policies import FifoPolicy, SchedulingPolicy
@@ -175,6 +177,11 @@ class PoolSpec:
         max_servers: autoscaler ceiling (standby servers exist between
             ``servers`` and this); defaults to ``servers`` (no
             headroom).
+        zone: failure-domain zone id the pool's servers share
+            (consumed by :func:`repro.serving.domains.topology_for_pools`;
+            ``None`` falls back to the pool's declaration index).  The
+            engines never read this — it only feeds topology
+            construction, so setting it cannot perturb a simulation.
     """
 
     name: str
@@ -186,6 +193,7 @@ class PoolSpec:
     swap_cost_s: float = 0.0
     min_servers: int = 1
     max_servers: int | None = None
+    zone: int | None = None
 
     def __post_init__(self) -> None:
         if self.servers <= 0 or self.max_batch <= 0:
@@ -198,6 +206,8 @@ class PoolSpec:
             raise ValueError("need 1 <= min_servers <= servers")
         if self.max_servers is not None and self.max_servers < self.servers:
             raise ValueError("max_servers must be >= servers")
+        if self.zone is not None and self.zone < 0:
+            raise ValueError("zone must be non-negative")
 
     @property
     def standby_servers(self) -> int:
@@ -533,6 +543,7 @@ def simulate_fleet(
     resilience: ResilienceConfig = RESILIENCE_OFF,
     engine: FleetEngine = "oracle",
     telemetry: "Telemetry | None" = None,
+    plan: RecoveryPlan | None = None,
 ):
     """Run the fleet discrete-event simulation to completion.
 
@@ -563,6 +574,13 @@ def simulate_fleet(
     Telemetry is purely observational — passing a collector never
     changes the simulation outcome, and ``None`` (the default) costs
     nothing.
+
+    ``plan`` takes a :class:`~repro.serving.faults.RecoveryPlan` of
+    scheduled orchestration actions (cordon/uncordon, domain-transition
+    markers) — typically compiled by
+    :func:`repro.serving.domains.compile_campaign` alongside the fault
+    schedule.  ``None`` (the default) schedules nothing and reproduces
+    the plan-free simulator byte-identically.
     """
     if engine not in FLEET_ENGINES:
         raise ValueError(
@@ -584,13 +602,13 @@ def simulate_fleet(
         return simulate_fleet_columnar(
             requests, pools, retry=retry, faults=faults,
             autoscaler=autoscaler, resilience=resilience,
-            telemetry=telemetry,
+            telemetry=telemetry, plan=plan,
         )
     if isinstance(requests, RequestBatch):
         requests = requests.to_requests()
     state = _FleetState(
         pools, retry, faults, autoscaler, resilience,
-        telemetry=telemetry,
+        telemetry=telemetry, plan=plan,
     )
     return state.run(requests)
 
@@ -606,11 +624,13 @@ class _FleetState:
         autoscaler: AutoscalerConfig | None,
         resilience: ResilienceConfig = RESILIENCE_OFF,
         telemetry: "Telemetry | None" = None,
+        plan: RecoveryPlan | None = None,
     ):
         self.tel = telemetry
         self.retry = retry
         self.autoscaler = autoscaler
         self.res = resilience
+        self.plan = plan
         self.pools = [_Pool(spec) for spec in pools]
         self.servers: list[_Server] = []
         for pool in self.pools:
@@ -626,6 +646,9 @@ class _FleetState:
                 pool.servers.append(server)
                 self.servers.append(server)
         self.faults = faults
+        # Chaos-off fast path: skip the per-dispatch straggler scan
+        # entirely when no windows exist (1.0 * nominal is bit-exact).
+        self.has_stragglers = bool(faults.stragglers)
         self.heap: list[tuple[float, int, str, object]] = []
         self.seq = 0
         self.completed: list[FleetCompletion] = []
@@ -664,6 +687,17 @@ class _FleetState:
         for crash in self.faults.crashes:
             if crash.server < len(self.servers):
                 self.push(crash.at_s, "crash", crash)
+        # Plan events go after crashes, before the autoscaler tick; the
+        # columnar engine replicates this exact (time, seq) order.
+        if self.plan is not None:
+            for action in self.plan.actions:
+                if action.server < len(self.servers):
+                    self.push(
+                        action.at_s, action.kind,
+                        self.servers[action.server],
+                    )
+            for marker in self.plan.markers:
+                self.push(marker.at_s, "marker", marker)
         if self.autoscaler is not None:
             self.push(self.autoscaler.check_interval_s, "tick", None)
         if self.res.brownout is not None:
@@ -946,6 +980,41 @@ class _FleetState:
         )
         if pending:
             self.push(now + config.check_interval_s, "tick", None)
+
+    def _on_cordon(self, now: float, server: _Server) -> None:
+        if not server.active:
+            return  # already cordoned / never promoted
+        server.active = False
+        if self.tel is not None:
+            self.tel.record_server(
+                now, "server_cordon", server.sid,
+                server.pool.spec.name,
+            )
+        if server.activated_at is not None:
+            server.active_s += now - server.activated_at
+            server.activated_at = None
+
+    def _on_uncordon(self, now: float, server: _Server) -> None:
+        if server.active:
+            return  # promotion raced an autoscaler activate
+        server.active = True
+        server.activated_at = now
+        if self.tel is not None:
+            self.tel.record_server(
+                now, "server_uncordon", server.sid,
+                server.pool.spec.name,
+            )
+        server.pool.peak_servers = max(
+            server.pool.peak_servers, server.pool.active_count
+        )
+        self._dispatch(server.pool, now)
+
+    def _on_marker(self, now: float, marker: DomainMarker) -> None:
+        # Observational only — state is never read or written here.
+        if self.tel is not None:
+            self.tel.record_domain(
+                now, marker.kind, marker.domain, marker.event
+            )
 
     def _on_hedge(self, now: float, entry: _Queued) -> None:
         if entry.done or entry.cancelled or entry.twin is not None:
@@ -1303,7 +1372,11 @@ class _FleetState:
             for entry in batch:
                 entry.in_queue = False
             nominal = self._latency_fn(pool, model)(len(batch))
-            latency = nominal * self._straggler_factor(server, now)
+            factor = (
+                self._straggler_factor(server, now)
+                if self.has_stragglers else 1.0
+            )
+            latency = nominal * factor
             if (
                 server.last_model is not None
                 and server.last_model != model

@@ -602,3 +602,137 @@ def tier_slo_report(
         for tier in range(tier_count)
     )
     return TierSloReport(per_tier=per_tier)
+
+
+@dataclass(frozen=True)
+class DomainSlo:
+    """Availability accounting for one failure domain.
+
+    Attributes:
+        domain: domain label (``"zone:0"`` / ``"rack:1"``).
+        servers: servers the domain contains.
+        events: compiled campaign events that targeted it.
+        down_server_s: summed per-server downtime inside the run.
+        availability: ``1 - down_server_s / (servers * makespan)``.
+        mttd_s: mean time to detect over the domain's detected
+            events; ``None`` when nothing was detected
+            (unorchestrated runs, gray failures).
+        mttr_s: mean time from onset to full restoration over the
+            domain's events; ``None`` when nothing happened.
+    """
+
+    domain: str
+    servers: int
+    events: int
+    down_server_s: float
+    availability: float
+    mttd_s: float | None
+    mttr_s: float | None
+
+
+@dataclass(frozen=True)
+class DomainSloReport:
+    """Per-failure-domain availability breakdown of one fleet run.
+
+    Always contains one row per zone (healthy zones report 100%
+    availability and ``None`` MTTD/MTTR) plus one row per rack a
+    campaign event targeted.
+    """
+
+    per_domain: tuple[DomainSlo, ...]
+    makespan_s: float
+
+    def domain(self, label: str) -> DomainSlo:
+        """Domain accounting by label (``"zone:0"``)."""
+        for entry in self.per_domain:
+            if entry.domain == label:
+                return entry
+        raise ValueError(f"unknown domain {label!r}")
+
+    def render(self, *, title: str = "Per-domain SLO") -> str:
+        """Text table of the per-domain numbers (``—`` = no data)."""
+        rows = [
+            [
+                entry.domain,
+                entry.servers,
+                entry.events,
+                f"{entry.down_server_s:.1f}",
+                f"{entry.availability * 100:.2f}",
+                _fmt(entry.mttd_s, ".1f"),
+                _fmt(entry.mttr_s, ".1f"),
+            ]
+            for entry in self.per_domain
+        ]
+        return render_table(
+            [
+                "domain", "servers", "events", "down srv-s",
+                "avail %", "MTTD s", "MTTR s",
+            ],
+            rows,
+            title=title,
+        )
+
+
+def domain_slo_report(
+    report: FleetReport | ColumnarFleetReport,
+    compiled,
+) -> DomainSloReport:
+    """Per-domain availability, MTTD, and MTTR for one fleet run.
+
+    ``compiled`` is the :class:`repro.serving.domains.CompiledCampaign`
+    the run replayed — its crash windows (clipped to the run's
+    makespan) give each domain's down server-seconds, and its compiled
+    events carry detection/restoration times.  Accepts either engine's
+    report and produces identical values for both (the computation
+    reads only ``makespan_s``).
+    """
+    from repro.serving.domains import domain_downtime
+
+    makespan = report.makespan_s
+    downtime = domain_downtime(compiled, makespan)
+    topology = compiled.topology
+    labels = [
+        f"zone:{zone}" for zone in sorted(set(topology.zone_of))
+    ]
+    labels.extend(sorted(
+        {
+            event.label for event in compiled.events
+            if event.label.startswith("rack:")
+        },
+        key=lambda label: int(label.split(":", 1)[1]),
+    ))
+    per_domain = []
+    for label in labels:
+        scope, index = label.split(":", 1)
+        servers = topology.servers_in(scope, int(index))
+        matching = [
+            event for event in compiled.events
+            if event.label == label
+        ]
+        detections = [
+            event.mttd_s for event in matching
+            if event.mttd_s is not None
+        ]
+        repairs = [event.mttr_s for event in matching]
+        down = downtime.get(label, 0.0)
+        capacity = len(servers) * makespan
+        availability = (
+            1.0 - down / capacity if capacity > 0.0 else 1.0
+        )
+        per_domain.append(DomainSlo(
+            domain=label,
+            servers=len(servers),
+            events=len(matching),
+            down_server_s=down,
+            availability=availability,
+            mttd_s=(
+                sum(detections) / len(detections)
+                if detections else None
+            ),
+            mttr_s=(
+                sum(repairs) / len(repairs) if repairs else None
+            ),
+        ))
+    return DomainSloReport(
+        per_domain=tuple(per_domain), makespan_s=makespan
+    )

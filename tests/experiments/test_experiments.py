@@ -12,22 +12,23 @@ def results():
 
 
 class TestHarness:
-    def test_twenty_experiments_registered(self):
-        assert len(EXPERIMENTS) == 20
+    def test_twenty_one_experiments_registered(self):
+        assert len(EXPERIMENTS) == 21
 
     def test_ids_cover_paper_evaluation(self):
         expected = {
             "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig13",
             "table1", "table2", "table3",
-            "dist1", "dist2", "serve1", "serve2", "serve3", "obs1",
+            "dist1", "dist2", "serve1", "serve2", "serve3", "serve4",
+            "obs1",
         }
         assert set(EXPERIMENTS) == expected
 
     def test_run_experiments_expands_all(self, results):
         del results  # ensure cache is warm first
         out = run_experiments(["all"])
-        assert len(out) == 20
+        assert len(out) == 21
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ValueError, match="unknown experiment"):

@@ -533,3 +533,90 @@ class TestTargetedScenarios:
             ),
             resilience,
         )
+
+
+@st.composite
+def campaign_scenarios(draw):
+    """A pool-per-zone fleet plus a random correlated-fault campaign,
+    optionally orchestrated (cordon/uncordon control actions, standby
+    promotion, staggered re-admission)."""
+    from repro.serving.chaos import ChaosConfig, generate_campaign
+    from repro.serving.domains import (
+        OrchestrationConfig,
+        topology_for_pools,
+    )
+
+    model_count = draw(st.integers(min_value=1, max_value=2))
+    names = MODELS[:model_count]
+    requests = generate_requests(
+        _mix(model_count),
+        arrival_rate=draw(st.floats(min_value=1.0, max_value=5.0)),
+        duration_s=150.0,
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+    zones = draw(st.integers(min_value=2, max_value=3))
+    pools = [
+        PoolSpec(
+            name=f"zone{zone}",
+            machine=MACHINES[zone % len(MACHINES)],
+            servers=draw(st.integers(min_value=2, max_value=3)),
+            latency_fns=_latency_fns(names),
+            max_batch=draw(st.integers(min_value=1, max_value=4)),
+            max_servers=draw(st.integers(min_value=3, max_value=5)),
+            zone=zone,
+        )
+        for zone in range(zones)
+    ]
+    topology = topology_for_pools(pools)
+    config = ChaosConfig(
+        zone_outage_rate=draw(st.sampled_from((0.0, 1 / 200.0))),
+        rack_outage_rate=draw(st.sampled_from((0.0, 1 / 300.0))),
+        partition_rate=draw(st.sampled_from((0.0, 1 / 300.0))),
+        degraded_rate=draw(st.sampled_from((0.0, 1 / 300.0))),
+        mean_duration_s=30.0,
+        stagger_s=draw(st.sampled_from((0.0, 4.0))),
+    )
+    campaign = generate_campaign(
+        topology, config, duration_s=150.0,
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+    orchestration = draw(st.sampled_from((
+        None,
+        OrchestrationConfig(
+            detection_delay_s=5.0, readmission_stagger_s=3.0,
+            promote_stagger_s=2.0,
+        ),
+        OrchestrationConfig(
+            detection_delay_s=15.0, readmission_stagger_s=0.0,
+            max_promotions=1,
+        ),
+    )))
+    compiled = campaign.compile(
+        pools=pools, orchestration=orchestration
+    )
+    retry = draw(st.sampled_from((
+        NO_RETRIES,
+        RetryPolicy(max_retries=2, backoff_s=0.5, timeout_s=15.0),
+    )))
+    return requests, pools, retry, compiled
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenario=campaign_scenarios())
+def test_correlated_campaigns_bit_exact(scenario):
+    """Compiled chaos campaigns — correlated crashes, partitions,
+    degraded links, recovery plans — replay bit-identically on both
+    engines.  The extension of the engine contract this PR adds."""
+    requests, pools, retry, compiled = scenario
+    oracle = simulate_fleet(
+        requests, pools, retry=retry, faults=compiled.faults,
+        plan=compiled.plan,
+    )
+    columnar = simulate_fleet_columnar(
+        requests, pools, retry=retry, faults=compiled.faults,
+        plan=compiled.plan,
+    )
+    assert columnar.to_report() == oracle
+    assert slo_report(columnar, DEADLINES) == slo_report(
+        oracle, DEADLINES
+    )

@@ -104,6 +104,30 @@ class TestBackoff:
         with pytest.raises(ValueError):
             RetryPolicy().backoff_for(0, request_id=1)
 
+    def test_huge_failure_counts_never_overflow(self):
+        # 2.0 ** 10_000 overflows a float; the exponent clamp must
+        # keep backoff_for total and finite however deep the retry
+        # loop went (chaos campaigns produce very long failure runs).
+        policy = RetryPolicy(
+            max_retries=5, backoff_s=1.0, multiplier=2.0,
+            max_backoff_s=30.0, jitter=0.5,
+        )
+        for failures in (100, 10_000, 1_000_000):
+            value = policy.backoff_for(failures, request_id=9)
+            assert value <= 30.0
+            assert value == value  # not NaN
+
+    def test_clamp_is_bit_exact_below_threshold(self):
+        # The clamp only rewrites exponents past 64 doublings; every
+        # backoff the golden traces can observe is untouched.
+        pure = RetryPolicy(
+            max_retries=5, backoff_s=0.5, multiplier=2.0,
+            max_backoff_s=1e12, jitter=0.0,
+        )
+        for failures in range(1, 40):
+            expected = min(1e12, 0.5 * 2.0 ** (failures - 1))
+            assert pure.backoff_for(failures, request_id=3) == expected
+
 
 class TestSchedule:
     def test_fault_free_is_empty(self):
@@ -136,6 +160,14 @@ class TestSchedule:
         sub = schedule.for_server(1)
         assert len(sub.crashes) == 1 and sub.crashes[0].server == 1
         assert len(sub.stragglers) == 1
+
+    def test_for_server_on_empty_schedule_is_allocation_free(self):
+        # The chaos-off fast path: an empty schedule returns itself
+        # instead of constructing a fresh FaultSchedule per server,
+        # so fault scanning costs nothing when no faults exist.
+        assert FAULT_FREE.for_server(3) is FAULT_FREE
+        empty = FaultSchedule()
+        assert empty.for_server(0) is empty
 
 
 class TestGeneration:

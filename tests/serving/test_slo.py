@@ -188,3 +188,97 @@ class TestBurnRate:
             slo.burn_rate(1.0)
         with pytest.raises(ValueError):
             slo.burn_rate(0.0)
+
+
+class TestDomainSlo:
+    def _scenario(self, orchestration=None):
+        from repro.serving.domains import (
+            ZoneOutage,
+            compile_campaign,
+            topology_for_pools,
+        )
+
+        pools = [
+            PoolSpec(
+                name=f"zone{z}", machine="dgx-a100-80g", servers=2,
+                latency_fns={"sd": affine_batch_latency(1.0)},
+                zone=z,
+            )
+            for z in range(2)
+        ]
+        topology = topology_for_pools(pools)
+        compiled = compile_campaign(
+            topology,
+            [ZoneOutage(zone=0, at_s=10.0, duration_s=20.0)],
+            pools=pools,
+            orchestration=orchestration,
+        )
+        report = simulate_fleet(
+            burst(40, 2.0), pools, faults=compiled.faults,
+            plan=compiled.plan,
+        )
+        return report, compiled
+
+    def test_rows_and_availability(self):
+        from repro.serving.slo import domain_slo_report
+
+        report, compiled = self._scenario()
+        domains = domain_slo_report(report, compiled)
+        assert [d.domain for d in domains.per_domain] == [
+            "zone:0", "zone:1"
+        ]
+        hit = domains.domain("zone:0")
+        healthy = domains.domain("zone:1")
+        assert hit.events == 1 and healthy.events == 0
+        assert hit.down_server_s == pytest.approx(40.0)
+        assert hit.availability < 1.0
+        assert healthy.availability == pytest.approx(1.0)
+        assert healthy.mttd_s is None and healthy.mttr_s is None
+        assert "zone:0" in domains.render()
+
+    def test_mttd_mttr_under_orchestration(self):
+        from repro.serving.domains import OrchestrationConfig
+        from repro.serving.slo import domain_slo_report
+
+        report, compiled = self._scenario(
+            OrchestrationConfig(
+                detection_delay_s=4.0, readmission_stagger_s=5.0
+            )
+        )
+        hit = domain_slo_report(report, compiled).domain("zone:0")
+        assert hit.mttd_s == pytest.approx(4.0)
+        # Full restoration waits for the second server's staggered
+        # rejoin, one stagger after the outage window ends.
+        assert hit.mttr_s == pytest.approx(20.0 + 5.0)
+
+    def test_both_engines_agree(self):
+        from repro.serving.columnar import simulate_fleet_columnar
+        from repro.serving.domains import (
+            ZoneOutage,
+            compile_campaign,
+            topology_for_pools,
+        )
+        from repro.serving.slo import domain_slo_report
+
+        pools = [
+            PoolSpec(
+                name=f"zone{z}", machine="dgx-a100-80g", servers=2,
+                latency_fns={"sd": affine_batch_latency(1.0)},
+                zone=z,
+            )
+            for z in range(2)
+        ]
+        compiled = compile_campaign(
+            topology_for_pools(pools),
+            [ZoneOutage(zone=1, at_s=5.0, duration_s=10.0)],
+            pools=pools,
+        )
+        requests = burst(30, 2.0)
+        oracle = simulate_fleet(
+            requests, pools, faults=compiled.faults
+        )
+        columnar = simulate_fleet_columnar(
+            requests, pools, faults=compiled.faults
+        )
+        assert domain_slo_report(oracle, compiled) == \
+            domain_slo_report(columnar, compiled)

@@ -54,7 +54,8 @@ TERMINAL_STATES = ("complete", "fail", "shed")
 EVENT_KINDS = (
     "breaker_open", "breaker_half_open", "breaker_close",
     "rung_change", "scale_up", "scale_down", "server_activate",
-    "server_crash", "server_recover",
+    "server_crash", "server_recover", "server_cordon",
+    "server_uncordon", "domain_down", "domain_detected", "domain_up",
 )
 FLEET_COUNTERS = (
     "completed", "failed", "shed", "retries", "hedges_launched",
